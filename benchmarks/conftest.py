@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure panel of the paper and
+writes the rendered artifact into ``benchmarks/results/`` so the
+reproduction outputs survive the run (the pytest-benchmark table only
+records timings).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Write a named text artifact into benchmarks/results/."""
+
+    def save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as f:
+            f.write(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return save

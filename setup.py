@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517``
+perform a classic editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""CircuitStart reproduction — a slow start for multi-hop anonymity systems.
+
+A full Python reproduction of Döpmann & Tschorsch, "CircuitStart: A
+Slow Start For Multi-Hop Anonymity Systems" (SIGCOMM Posters and Demos
+2018), including every substrate the paper's evaluation ran on:
+
+* :mod:`repro.sim` — a deterministic discrete-event engine (for ns-3);
+* :mod:`repro.net` — links, queues, nodes, topologies;
+* :mod:`repro.tor` — cells, onion routing, directory, circuits (nstor);
+* :mod:`repro.transport` — the hop-by-hop window transport (BackTap);
+* :mod:`repro.core` — **CircuitStart** and the baseline start-ups;
+* :mod:`repro.analysis` — the optimal-window model, traces, CDFs;
+* :mod:`repro.experiments` — harnesses regenerating every Figure-1 panel;
+* :mod:`repro.report` — ASCII figures and tables.
+
+Quickstart::
+
+    from repro import TraceConfig, run_trace_experiment
+    result = run_trace_experiment(TraceConfig(bottleneck_distance=1))
+    print(result.final_cwnd_cells, "cells; optimal:", result.optimal_cwnd_cells)
+"""
+
+from .analysis import (
+    EmpiricalCdf,
+    HopLink,
+    TraceRecorder,
+    backpropagated_window,
+    cdf_horizontal_gap,
+    optimal_windows,
+    source_optimal_window,
+    summarize,
+)
+from .core import (
+    CircuitStartController,
+    DynamicCircuitStartController,
+    FixedWindowController,
+    JumpStartController,
+    PlainSlowStartController,
+    make_controller,
+)
+from .experiments import (
+    CdfConfig,
+    CdfResult,
+    DynamicConfig,
+    FriendlinessConfig,
+    InteractiveConfig,
+    NetworkConfig,
+    TraceConfig,
+    TraceResult,
+    generate_network,
+    run_cdf_experiment,
+    run_dynamic_experiment,
+    run_friendliness_experiment,
+    run_interactive_experiment,
+    run_trace_experiment,
+)
+from .report import generate_report
+from .net import LinkSpec, Topology, build_chain, build_star
+from .sim import RandomStreams, Simulator
+from .tor import (
+    CircuitBuilder,
+    CircuitFlow,
+    CircuitSpec,
+    Directory,
+    PathSelector,
+    RelayDescriptor,
+    TorHost,
+    allocate_circuit_id,
+)
+from .transport import CELL_SIZE, HopSender, Phase, TransportConfig
+from .units import (
+    Rate,
+    gbit_per_second,
+    kib,
+    mbit_per_second,
+    mib,
+    milliseconds,
+    seconds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CELL_SIZE",
+    "CdfConfig",
+    "CdfResult",
+    "CircuitBuilder",
+    "CircuitFlow",
+    "CircuitSpec",
+    "CircuitStartController",
+    "Directory",
+    "DynamicCircuitStartController",
+    "DynamicConfig",
+    "EmpiricalCdf",
+    "FixedWindowController",
+    "FriendlinessConfig",
+    "HopLink",
+    "HopSender",
+    "InteractiveConfig",
+    "JumpStartController",
+    "LinkSpec",
+    "NetworkConfig",
+    "PathSelector",
+    "Phase",
+    "PlainSlowStartController",
+    "RandomStreams",
+    "Rate",
+    "RelayDescriptor",
+    "Simulator",
+    "Topology",
+    "TorHost",
+    "TraceConfig",
+    "TraceRecorder",
+    "TraceResult",
+    "TransportConfig",
+    "allocate_circuit_id",
+    "backpropagated_window",
+    "build_chain",
+    "build_star",
+    "cdf_horizontal_gap",
+    "gbit_per_second",
+    "generate_network",
+    "generate_report",
+    "kib",
+    "make_controller",
+    "mbit_per_second",
+    "mib",
+    "milliseconds",
+    "optimal_windows",
+    "run_cdf_experiment",
+    "run_dynamic_experiment",
+    "run_friendliness_experiment",
+    "run_interactive_experiment",
+    "run_trace_experiment",
+    "seconds",
+    "source_optimal_window",
+    "summarize",
+]

@@ -1,0 +1,115 @@
+"""Time-series trace recording.
+
+:class:`TraceRecorder` collects ``(time, value)`` samples — the source
+cwnd over time for the Figure-1 upper panels, queue depths for the
+diagnostics — and offers the small amount of post-processing the
+experiments need: step-function evaluation, resampling onto a regular
+grid, and unit conversion (cells → kilobytes, seconds → milliseconds).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceRecorder", "step_value_at", "resample_step"]
+
+
+class TraceRecorder:
+    """An append-only series of timestamped samples."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def add(self, time: float, value: float) -> None:
+        """Record *value* at *time*; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                "trace %s: time %r precedes last sample %r"
+                % (self.name, time, self.times[-1])
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        """The recorded samples as (time, value) pairs."""
+        return list(zip(self.times, self.values))
+
+    @property
+    def final_value(self) -> float:
+        """The most recent sample's value."""
+        if not self.values:
+            raise ValueError("trace %s is empty" % self.name)
+        return self.values[-1]
+
+    @property
+    def max_value(self) -> float:
+        """The largest value ever recorded."""
+        if not self.values:
+            raise ValueError("trace %s is empty" % self.name)
+        return max(self.values)
+
+    def value_at(self, time: float) -> float:
+        """Step-function evaluation: the last sample at or before *time*."""
+        return step_value_at(self.times, self.values, time)
+
+    def scaled(self, time_factor: float = 1.0, value_factor: float = 1.0) -> "TraceRecorder":
+        """A copy with times and values multiplied by the given factors.
+
+        Used to convert (seconds, cells) traces into the paper's
+        (milliseconds, kilobytes) axes.
+        """
+        out = TraceRecorder(self.name)
+        out.times = [t * time_factor for t in self.times]
+        out.values = [v * value_factor for v in self.values]
+        return out
+
+    def window(self, start: float, end: float) -> "TraceRecorder":
+        """The sub-trace with start <= time <= end (boundaries included)."""
+        if end < start:
+            raise ValueError("window end %r precedes start %r" % (end, start))
+        out = TraceRecorder(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t <= end:
+                out.times.append(t)
+                out.values.append(v)
+        return out
+
+
+def step_value_at(times: Sequence[float], values: Sequence[float], time: float) -> float:
+    """Evaluate a step function defined by sorted *times* / *values*.
+
+    Returns the value of the last sample at or before *time*; raises
+    when *time* precedes the first sample (there is no defined value).
+    """
+    if not times:
+        raise ValueError("empty trace has no value")
+    index = bisect.bisect_right(list(times), time) - 1
+    if index < 0:
+        raise ValueError(
+            "time %r precedes the first sample at %r" % (time, times[0])
+        )
+    return values[index]
+
+
+def resample_step(
+    trace: TraceRecorder, grid: Iterable[float]
+) -> List[Tuple[float, Optional[float]]]:
+    """Sample *trace* as a step function on *grid*.
+
+    Grid points before the first sample yield ``None`` instead of
+    raising, which keeps plotting code simple.
+    """
+    out: List[Tuple[float, Optional[float]]] = []
+    for t in grid:
+        if not trace.times or t < trace.times[0]:
+            out.append((t, None))
+        else:
+            out.append((t, trace.value_at(t)))
+    return out

@@ -1,0 +1,76 @@
+"""Experiment harnesses: everything needed to regenerate Figure 1.
+
+* :mod:`~repro.experiments.netgen` — seeded random star networks;
+* :mod:`~repro.experiments.fig1_traces` — the cwnd-trace panels (F1a/b);
+* :mod:`~repro.experiments.fig1_cdf` — the download-time CDF (F1c);
+* :mod:`~repro.experiments.ablations` — the A1–A4 design-choice studies;
+* :mod:`~repro.experiments.dynamic` — the future-work rate-change study.
+"""
+
+from .ablations import (
+    BackpropagationRow,
+    CompensationRow,
+    GammaRow,
+    InitialWindowRow,
+    backpropagation_study,
+    compensation_modes,
+    gamma_sweep,
+    initial_window_sweep,
+)
+from .dynamic import (
+    DynamicConfig,
+    DynamicResult,
+    run_dynamic_experiment,
+    set_duplex_rate,
+)
+from .fig1_cdf import (
+    CdfConfig,
+    CdfResult,
+    FlowSample,
+    run_cdf_experiment,
+    select_circuit_paths,
+)
+from .fig1_traces import TraceConfig, TraceResult, run_trace_experiment
+from .friendliness import (
+    FriendlinessConfig,
+    FriendlinessRow,
+    run_friendliness_experiment,
+)
+from .interactive import (
+    InteractiveConfig,
+    InteractiveRow,
+    run_interactive_experiment,
+)
+from .netgen import GeneratedNetwork, NetworkConfig, generate_network
+
+__all__ = [
+    "BackpropagationRow",
+    "CdfConfig",
+    "CdfResult",
+    "CompensationRow",
+    "DynamicConfig",
+    "DynamicResult",
+    "FriendlinessConfig",
+    "FlowSample",
+    "FriendlinessRow",
+    "GammaRow",
+    "GeneratedNetwork",
+    "InteractiveConfig",
+    "InteractiveRow",
+    "InitialWindowRow",
+    "NetworkConfig",
+    "TraceConfig",
+    "TraceResult",
+    "backpropagation_study",
+    "compensation_modes",
+    "gamma_sweep",
+    "generate_network",
+    "initial_window_sweep",
+    "run_cdf_experiment",
+    "run_dynamic_experiment",
+    "run_friendliness_experiment",
+    "run_interactive_experiment",
+    "run_trace_experiment",
+    "select_circuit_paths",
+    "set_duplex_rate",
+]

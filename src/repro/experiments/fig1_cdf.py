@@ -1,0 +1,239 @@
+"""Figure 1 (lower panel): download-time CDF, with vs without CircuitStart.
+
+The paper: "we measured the overall download times when transferring a
+fixed amount of data over a randomly generated network of Tor relays,
+connected in a star topology.  We simulated 50 concurrent circuits."
+The CDF of time-to-last-byte with CircuitStart sits left of the one
+without, with improvements up to ~0.5 s.
+
+The harness below reproduces the setup end to end:
+
+1. generate the seeded star network and consensus directory
+   (:mod:`repro.experiments.netgen`);
+2. select 50 bandwidth-weighted 3-relay paths (Tor-style, via
+   :class:`~repro.tor.PathSelector`) — the *same* paths for both modes;
+3. run all 50 downloads concurrently, once per controller kind, on a
+   fresh simulator each;
+4. return per-mode time-to-last-byte samples plus the comparison
+   statistics (median gap, max horizontal CDF gap, dominance fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import (
+    EmpiricalCdf,
+    cdf_horizontal_gap,
+    jain_fairness_index,
+    stochastic_dominance_fraction,
+    summarize,
+)
+from ..sim.rand import RandomStreams
+from ..sim.simulator import Simulator
+from ..tor.circuit import CircuitFlow, CircuitSpec
+from ..tor.path_selection import PathSelector
+from ..transport.config import TransportConfig
+from ..units import kib, milliseconds, seconds
+from .netgen import NetworkConfig, generate_network
+
+__all__ = [
+    "CdfConfig",
+    "CdfResult",
+    "FlowSample",
+    "run_cdf_experiment",
+    "select_circuit_paths",
+]
+
+
+@dataclass(frozen=True)
+class CdfConfig:
+    """Parameters of the concurrent-download experiment."""
+
+    circuit_count: int = 50
+    hops: int = 3
+    payload_bytes: int = kib(400)
+    seed: int = 1802
+    #: Start jitter: circuits begin uniformly within this window, so
+    #: "concurrent" does not mean "pathologically synchronized".
+    start_jitter: float = milliseconds(100.0)
+    #: Hard cap on simulated time; not finishing by then is an error.
+    max_sim_time: float = seconds(60.0)
+    #: The two legend entries of the paper's plot.
+    kinds: Tuple[str, str] = ("with", "without")
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+
+    def __post_init__(self) -> None:
+        if self.circuit_count < 1:
+            raise ValueError("need at least one circuit")
+        if self.circuit_count > min(
+            self.network.client_count, self.network.server_count
+        ):
+            raise ValueError("not enough client/server hosts for the circuits")
+
+
+@dataclass
+class FlowSample:
+    """Per-circuit measurements from one mode's run."""
+
+    circuit_id: int
+    time_to_last_byte: float
+    time_to_first_byte: float
+    goodput_bytes_per_second: float
+
+
+@dataclass
+class CdfResult:
+    """Per-mode samples and cross-mode comparison statistics."""
+
+    config: CdfConfig
+    #: controller kind -> sorted time-to-last-byte samples (seconds).
+    ttlb: Dict[str, List[float]]
+    #: controller kind -> per-circuit samples (TTFB, goodput, ...).
+    flows: Dict[str, List["FlowSample"]] = field(default_factory=dict)
+
+    def cdf(self, kind: str) -> EmpiricalCdf:
+        return EmpiricalCdf(self.ttlb[kind])
+
+    def ttfb(self, kind: str) -> List[float]:
+        """Sorted time-to-first-byte samples (interactive latency)."""
+        return sorted(s.time_to_first_byte for s in self.flows[kind])
+
+    def fairness(self, kind: str) -> float:
+        """Jain's fairness index over per-circuit goodputs."""
+        return jain_fairness_index(
+            [s.goodput_bytes_per_second for s in self.flows[kind]]
+        )
+
+    @property
+    def median_improvement(self) -> float:
+        """Median TTLB difference, without − with (positive = faster)."""
+        with_kind, without_kind = self.config.kinds
+        return self.cdf(without_kind).median - self.cdf(with_kind).median
+
+    @property
+    def max_improvement(self) -> float:
+        """Largest horizontal CDF gap (the paper's "up to 0.5 s")."""
+        with_kind, without_kind = self.config.kinds
+        return cdf_horizontal_gap(self.cdf(with_kind), self.cdf(without_kind))
+
+    @property
+    def dominance(self) -> float:
+        """Fraction of quantiles where "with" is at least as fast."""
+        with_kind, without_kind = self.config.kinds
+        return stochastic_dominance_fraction(
+            self.cdf(with_kind), self.cdf(without_kind)
+        )
+
+    def summary_rows(self) -> List[Tuple[str, float, float, float, float]]:
+        """(kind, median, p10, p90, max) rows for the report table."""
+        rows = []
+        for kind in self.config.kinds:
+            s = summarize(self.ttlb[kind])
+            rows.append((kind, s.median, s.p10, s.p90, s.maximum))
+        return rows
+
+
+def select_circuit_paths(
+    config: CdfConfig, streams: RandomStreams, directory
+) -> List[List[str]]:
+    """Choose each circuit's relay path (deterministic given the seed)."""
+    selector = PathSelector(directory, streams.stream("paths"))
+    return [
+        [relay.name for relay in selector.select_path(config.hops)]
+        for __ in range(config.circuit_count)
+    ]
+
+
+def run_cdf_experiment(
+    config: Optional[CdfConfig] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> CdfResult:
+    """Run the concurrent-download experiment for every controller kind.
+
+    Both modes see identical networks, relay paths and start times; the
+    only difference is the start-up controller at every hop.
+    """
+    config = config or CdfConfig()
+    run_kinds = list(kinds) if kinds is not None else list(config.kinds)
+
+    # Path selection and start jitter are drawn once, from streams
+    # independent of the controller kind.
+    planning = RandomStreams(config.seed)
+    planning_sim = Simulator()
+    network_for_paths = generate_network(planning_sim, config.network, planning)
+    paths = select_circuit_paths(config, planning, network_for_paths.directory)
+    start_rng = planning.stream("starts")
+    starts = [
+        start_rng.uniform(0.0, config.start_jitter)
+        for __ in range(config.circuit_count)
+    ]
+
+    ttlb: Dict[str, List[float]] = {}
+    flows: Dict[str, List[FlowSample]] = {}
+    for kind in run_kinds:
+        samples = _run_one_mode(config, kind, paths, starts)
+        flows[kind] = samples
+        ttlb[kind] = sorted(s.time_to_last_byte for s in samples)
+    return CdfResult(config=config, ttlb=ttlb, flows=flows)
+
+
+def _run_one_mode(
+    config: CdfConfig,
+    kind: str,
+    paths: List[List[str]],
+    starts: List[float],
+) -> List[FlowSample]:
+    sim = Simulator()
+    streams = RandomStreams(config.seed)  # regenerate the identical network
+    network = generate_network(sim, config.network, streams)
+
+    flows: List[CircuitFlow] = []
+    for index, (path, start) in enumerate(zip(paths, starts)):
+        spec = CircuitSpec(
+            circuit_id=index + 1,
+            source=network.server_names[index],
+            relays=path,
+            sink=network.client_names[index],
+        )
+        flows.append(
+            CircuitFlow(
+                sim,
+                network.topology,
+                spec,
+                config.transport,
+                controller_kind=kind,
+                payload_bytes=config.payload_bytes,
+                start_time=start,
+            )
+        )
+
+    sim.run_until(config.max_sim_time)
+
+    unfinished = [flow for flow in flows if not flow.done]
+    if unfinished:
+        raise RuntimeError(
+            "%d/%d circuits did not finish within %.1fs (kind=%s); first: %r"
+            % (
+                len(unfinished),
+                len(flows),
+                config.max_sim_time,
+                kind,
+                unfinished[0],
+            )
+        )
+    samples = []
+    for flow in flows:
+        ttlb = flow.time_to_last_byte
+        assert flow.sink.first_cell_time is not None
+        samples.append(
+            FlowSample(
+                circuit_id=flow.spec.circuit_id,
+                time_to_last_byte=ttlb,
+                time_to_first_byte=flow.sink.first_cell_time - flow.start_time,
+                goodput_bytes_per_second=config.payload_bytes / ttlb,
+            )
+        )
+    return samples

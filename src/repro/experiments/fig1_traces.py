@@ -1,0 +1,147 @@
+"""Figure 1 (upper panels): source cwnd traces vs bottleneck distance.
+
+The paper plots the source's congestion window over the first ~300 ms
+of a circuit whose bottleneck sits at different distances:
+
+* "distance to bottleneck: 1 hop" — the slow link is the first relay's
+  egress (one hop away from the source);
+* "distance to bottleneck: 3 hops" — the slow link is the last relay's
+  egress, directly in front of the destination.
+
+Representative behaviour (the claims our benches assert):
+
+* the window doubles per round up to a temporary overshoot;
+* CircuitStart's compensation then drops it close to the *optimal*
+  window (dashed line; computed by
+  :mod:`repro.analysis.optimal_window`), regardless of where the
+  bottleneck is;
+* the adjustment happens quickly (well within the plotted 300 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.optimal_window import (
+    HopLink,
+    OptimalWindow,
+    source_optimal_window,
+)
+from ..analysis.trace import TraceRecorder
+from ..net.topology import LinkSpec, build_chain
+from ..sim.simulator import Simulator
+from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
+from ..transport.config import TransportConfig
+from ..units import Rate, mbit_per_second, mib, milliseconds
+
+__all__ = ["TraceConfig", "TraceResult", "run_trace_experiment"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Parameters of one cwnd-trace run."""
+
+    #: Number of relays in the circuit (Tor's default: 3).
+    relay_count: int = 3
+    #: Which link is the bottleneck, as the paper counts: its distance
+    #: in hops from the source.  1 = first relay's egress; with three
+    #: relays, 3 = last relay's egress.  0 means the source's own link.
+    bottleneck_distance: int = 1
+    fast_rate: Rate = mbit_per_second(50.0)
+    bottleneck_rate: Rate = mbit_per_second(8.0)
+    link_delay: float = milliseconds(12.0)
+    controller_kind: str = "circuitstart"
+    payload_bytes: int = mib(4)  # long enough to outlast the window
+    duration: float = milliseconds(400.0)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+
+    def __post_init__(self) -> None:
+        if self.relay_count < 1:
+            raise ValueError("need at least one relay")
+        max_distance = self.relay_count  # links: source egress + one per relay
+        if not 0 <= self.bottleneck_distance <= max_distance:
+            raise ValueError(
+                "bottleneck distance %d out of range [0, %d]"
+                % (self.bottleneck_distance, max_distance)
+            )
+
+    def link_specs(self) -> List[LinkSpec]:
+        """The chain's link specs, slow link at the configured position."""
+        link_count = self.relay_count + 1
+        specs = []
+        for index in range(link_count):
+            rate = (
+                self.bottleneck_rate
+                if index == self.bottleneck_distance
+                else self.fast_rate
+            )
+            specs.append(LinkSpec(rate, self.link_delay))
+        return specs
+
+
+@dataclass
+class TraceResult:
+    """Everything the Figure-1a/b panel needs."""
+
+    config: TraceConfig
+    #: Source cwnd over time, in (seconds, cells).
+    trace: TraceRecorder
+    #: The model's optimal source window (the dashed line).
+    optimal: OptimalWindow
+    #: When the source controller left its start-up phase (seconds),
+    #: ``None`` if it never did within the run.
+    startup_exit_time: Optional[float]
+    #: Peak window reached during the run, in cells.
+    peak_cwnd_cells: int
+    #: Window at the end of the run, in cells.
+    final_cwnd_cells: int
+
+    def trace_kb_ms(self) -> TraceRecorder:
+        """The trace on the paper's axes: KB over milliseconds."""
+        cell_kb = self.config.transport.cell_size / 1000.0
+        return self.trace.scaled(time_factor=1e3, value_factor=cell_kb)
+
+    @property
+    def optimal_cwnd_cells(self) -> int:
+        return self.optimal.window_cells
+
+    @property
+    def final_error_cells(self) -> int:
+        """Signed distance of the final window from the model optimum."""
+        return self.final_cwnd_cells - self.optimal.window_cells
+
+
+def run_trace_experiment(config: TraceConfig) -> TraceResult:
+    """Run one chain-topology transfer and trace the source's window."""
+    sim = Simulator()
+    relay_names = ["relay%d" % (i + 1) for i in range(config.relay_count)]
+    names = ["source", *relay_names, "sink"]
+    specs = config.link_specs()
+    topology = build_chain(sim, names, specs)
+
+    spec = CircuitSpec(allocate_circuit_id(), "source", relay_names, "sink")
+    flow = CircuitFlow(
+        sim,
+        topology,
+        spec,
+        config.transport,
+        controller_kind=config.controller_kind,
+        payload_bytes=config.payload_bytes,
+        start_time=0.0,
+    )
+    recorder = TraceRecorder("source-cwnd:%s" % config.controller_kind)
+    flow.trace_cwnd(recorder)
+
+    sim.run_until(config.duration)
+
+    links = [HopLink(s.rate, s.delay) for s in specs]
+    optimal = source_optimal_window(links, config.transport)
+    return TraceResult(
+        config=config,
+        trace=recorder,
+        optimal=optimal,
+        startup_exit_time=flow.source_controller.startup_exit_time,
+        peak_cwnd_cells=int(recorder.max_value),
+        final_cwnd_cells=flow.source_controller.cwnd_cells,
+    )

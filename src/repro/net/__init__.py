@@ -1,0 +1,33 @@
+"""Network substrate: packets, queues, links, nodes and topologies.
+
+This package models the parts of ns-3 the CircuitStart evaluation
+depends on — store-and-forward point-to-point links with configurable
+rate, propagation delay and egress queueing — without the parts it does
+not (L2 framing, ARP, full TCP/IP).  DESIGN.md §5 documents why this
+substitution preserves the paper's behaviour.
+"""
+
+from .link import Interface, Link
+from .node import ForwardingHandler, Node, PacketHandler
+from .packet import Packet
+from .queues import DropTailQueue, FifoQueue, QueueStats
+from .topology import LinkSpec, Topology, build_chain, build_star
+from .traffic import ConstantRateSender, LatencyTracker
+
+__all__ = [
+    "ConstantRateSender",
+    "DropTailQueue",
+    "FifoQueue",
+    "ForwardingHandler",
+    "Interface",
+    "LatencyTracker",
+    "Link",
+    "LinkSpec",
+    "Node",
+    "Packet",
+    "PacketHandler",
+    "QueueStats",
+    "Topology",
+    "build_chain",
+    "build_star",
+]

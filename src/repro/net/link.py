@@ -1,0 +1,163 @@
+"""Point-to-point links and network interfaces.
+
+The link model matches what the CircuitStart evaluation needs from
+ns-3's point-to-point devices:
+
+* **store-and-forward serialization** — an interface transmits one
+  packet at a time; a packet of ``size`` bytes occupies the transmitter
+  for ``size / rate`` seconds;
+* **propagation delay** — after serialization the packet takes a fixed
+  ``delay`` to reach the remote end;
+* **an egress queue** — packets arriving while the transmitter is busy
+  wait in the interface's queue (FIFO by default).
+
+Links are *unidirectional*; :func:`connect_duplex` (in
+:mod:`repro.net.topology`) wires two of them between a pair of nodes.
+The receiving side hands packets to ``node.deliver``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..units import Rate
+from .packet import Packet
+from .queues import FifoQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import Node
+
+__all__ = ["Link", "Interface"]
+
+
+class Link:
+    """A unidirectional transmission medium: a rate plus a delay.
+
+    The link itself is stateless with respect to traffic; contention is
+    modelled by the sending :class:`Interface`.
+    """
+
+    __slots__ = ("rate", "delay", "name")
+
+    def __init__(self, rate: Rate, delay: float, name: str = "") -> None:
+        if delay < 0:
+            raise ValueError("propagation delay must be non-negative, got %r" % delay)
+        self.rate = rate
+        self.delay = float(delay)
+        self.name = name
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialization time of *packet* on this link."""
+        return self.rate.transmission_time(packet.size)
+
+    def one_way_time(self, packet: Packet) -> float:
+        """Serialization plus propagation for *packet* (unloaded link)."""
+        return self.transmission_time(packet) + self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Link %s %s delay=%.4fs>" % (self.name or "?", self.rate, self.delay)
+
+
+class Interface:
+    """The sending endpoint of a unidirectional link.
+
+    An interface belongs to a node, owns an egress queue and serializes
+    packets onto its :class:`Link` one at a time.  Delivery to the
+    remote node happens ``tx_time + delay`` after transmission starts.
+
+    Statistics (``bytes_sent``, ``packets_sent``, plus the queue's own
+    counters) feed the experiment reports.
+    """
+
+    def __init__(
+        self,
+        sim,
+        owner: "Node",
+        link: Link,
+        queue: Optional[FifoQueue] = None,
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self.owner = owner
+        self.link = link
+        self.queue = queue if queue is not None else FifoQueue()
+        self.name = name or ("%s.if" % owner.name)
+        self.peer: Optional["Node"] = None  # set when wired into a topology
+        self._busy = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Whether a packet is currently being serialized."""
+        return self._busy
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets waiting in the egress queue (excluding the one in flight)."""
+        return len(self.queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes waiting in the egress queue."""
+        return self.queue.bytes_queued
+
+    def attach_peer(self, peer: "Node") -> None:
+        """Declare the node at the far end of the link."""
+        self.peer = peer
+
+    def send(self, packet: Packet) -> bool:
+        """Queue *packet* for transmission; start transmitting if idle.
+
+        Returns whether the packet was accepted by the egress queue
+        (a :class:`~repro.net.queues.DropTailQueue` may refuse it).
+        """
+        if self.peer is None:
+            raise RuntimeError("interface %s has no peer attached" % self.name)
+        accepted = self.queue.offer(packet)
+        if accepted and not self._busy:
+            self._transmit_next()
+        return accepted
+
+    # ------------------------------------------------------------------
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.take()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = self.link.transmission_time(packet)
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        # One-shot hook: fires when serialization begins at the first
+        # link the packet traverses.  The Tor layer uses it to issue
+        # feedback at the moment a cell is *actually forwarded* onto
+        # the wire (queueing in this interface included), which is the
+        # paper's feedback semantics.
+        on_tx_start = packet.metadata.pop("on_tx_start", None)
+        if on_tx_start is not None:
+            on_tx_start()
+        # The transmitter frees up when serialization completes; the
+        # packet arrives one propagation delay later.
+        self._sim.schedule(tx_time, self._transmission_complete)
+        self._sim.schedule(tx_time + self.link.delay, self._deliver, packet)
+
+    def _transmission_complete(self) -> None:
+        self._busy = False
+        if self.queue:
+            self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.note_hop()
+        assert self.peer is not None  # checked in send()
+        self.peer.deliver(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Interface %s -> %s backlog=%d>" % (
+            self.name,
+            self.peer.name if self.peer else "?",
+            len(self.queue),
+        )

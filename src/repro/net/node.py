@@ -1,0 +1,138 @@
+"""Network nodes.
+
+A :class:`Node` is a named entity with interfaces and a static routing
+table.  Packet handling is delegated to a *packet handler* — any object
+with a ``handle_packet(packet, node)`` method (or a plain callable) —
+so the Tor layer can plug relays, clients and servers into the same
+substrate without subclassing the network code.
+
+Forwarding model
+----------------
+Nodes route by destination name.  ``node.forward(packet)`` looks up
+``packet.dst`` in the routing table and transmits on the corresponding
+interface; delivery at the destination invokes the handler.  Transit
+nodes whose handler leaves packets alone can use
+:class:`ForwardingHandler`, which simply forwards anything not
+addressed to the node itself (this is how the star topology's hub
+behaves).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from .link import Interface
+from .packet import Packet
+
+__all__ = ["Node", "ForwardingHandler", "PacketHandler"]
+
+#: Anything that can process a delivered packet.
+PacketHandler = Union[Callable[[Packet, "Node"], None], "object"]
+
+
+class Node:
+    """A device in the simulated network.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.simulator.Simulator`.
+    name:
+        Unique name; also the routing identifier.
+    handler:
+        Optional packet handler; can be set later via
+        :meth:`set_handler`.  Without a handler, delivered packets
+        raise, which surfaces wiring bugs early.
+    """
+
+    def __init__(self, sim, name: str, handler: Optional[PacketHandler] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.interfaces: List[Interface] = []
+        self.routes: Dict[str, Interface] = {}
+        self._handler = handler
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def add_interface(self, interface: Interface) -> None:
+        """Register *interface* as one of this node's egress ports."""
+        self.interfaces.append(interface)
+
+    def set_route(self, dst_name: str, interface: Interface) -> None:
+        """Route packets destined to *dst_name* out of *interface*."""
+        if interface not in self.interfaces:
+            raise ValueError(
+                "interface %s does not belong to node %s" % (interface.name, self.name)
+            )
+        self.routes[dst_name] = interface
+
+    def set_handler(self, handler: PacketHandler) -> None:
+        """Install the packet handler (relay / client / server logic)."""
+        self._handler = handler
+
+    def interface_to(self, dst_name: str) -> Interface:
+        """The interface used to reach *dst_name* (routing lookup)."""
+        try:
+            return self.routes[dst_name]
+        except KeyError:
+            raise KeyError(
+                "node %s has no route to %s (routes: %s)"
+                % (self.name, dst_name, sorted(self.routes))
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Originate *packet* from this node toward ``packet.dst``."""
+        packet.src = packet.src or self.name
+        return self.interface_to(packet.dst).send(packet)
+
+    def forward(self, packet: Packet) -> bool:
+        """Forward a transit packet toward ``packet.dst``."""
+        return self.interface_to(packet.dst).send(packet)
+
+    def deliver(self, packet: Packet, from_interface: Interface) -> None:
+        """Called by the link layer when *packet* arrives at this node."""
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        if packet.dst and packet.dst != self.name:
+            self.forward(packet)
+            return
+        if self._handler is None:
+            raise RuntimeError(
+                "node %s received %r but has no handler installed" % (self.name, packet)
+            )
+        handler = self._handler
+        if hasattr(handler, "handle_packet"):
+            handler.handle_packet(packet, self)
+        else:
+            handler(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Node %s ifaces=%d routes=%d>" % (
+            self.name,
+            len(self.interfaces),
+            len(self.routes),
+        )
+
+
+class ForwardingHandler:
+    """Handler for pure transit nodes (e.g. the star topology's hub).
+
+    Packets addressed to the node itself are counted and dropped —
+    transit nodes are not expected to be packet destinations, and a
+    counter is friendlier to debug than an exception raised from deep
+    inside the event loop.
+    """
+
+    def __init__(self) -> None:
+        self.swallowed = 0
+
+    def handle_packet(self, packet: Packet, node: Node) -> None:
+        self.swallowed += 1

@@ -1,0 +1,72 @@
+"""Network packets.
+
+A :class:`Packet` is the unit the link layer moves around.  In this
+reproduction a packet usually carries exactly one Tor cell (see
+:mod:`repro.tor.cells`) as its payload; the link layer only looks at the
+size, source and destination.
+
+Packets carry a small metadata dictionary for tracing (enqueue
+timestamps, hop counts).  Metadata never influences forwarding — it
+exists for measurement only, mirroring how nstor attaches ns-3 tags.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+__all__ = ["Packet"]
+
+_packet_uids = itertools.count(1)
+
+
+class Packet:
+    """An immutable-size datagram travelling through the simulated network.
+
+    Parameters
+    ----------
+    size:
+        Wire size in bytes (headers included); must be positive.
+    payload:
+        Arbitrary application object, typically a Tor cell.
+    src, dst:
+        Names of the originating and target nodes.  The destination
+        drives static routing (:mod:`repro.net.routing`).
+    """
+
+    __slots__ = ("uid", "size", "payload", "src", "dst", "created_at", "metadata")
+
+    def __init__(
+        self,
+        size: int,
+        payload: Any = None,
+        src: str = "",
+        dst: str = "",
+        created_at: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("packet size must be positive, got %r" % size)
+        self.uid = next(_packet_uids)
+        self.size = int(size)
+        self.payload = payload
+        self.src = src
+        self.dst = dst
+        self.created_at = created_at
+        self.metadata: Dict[str, Any] = {}
+
+    def hop_count(self) -> int:
+        """Number of links this packet has traversed so far."""
+        return int(self.metadata.get("hops", 0))
+
+    def note_hop(self) -> None:
+        """Record one more traversed link (called by the link layer)."""
+        self.metadata["hops"] = self.hop_count() + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Packet #%d %s->%s %dB %r>" % (
+            self.uid,
+            self.src or "?",
+            self.dst or "?",
+            self.size,
+            type(self.payload).__name__ if self.payload is not None else None,
+        )

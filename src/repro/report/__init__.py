@@ -1,0 +1,15 @@
+"""Reporting: ASCII figures, aligned tables and CSV export."""
+
+from .ascii import render_cdf_pair, render_series, render_trace
+from .summary import generate_report
+from .tables import format_table, rows_to_csv_text, write_csv
+
+__all__ = [
+    "format_table",
+    "generate_report",
+    "render_cdf_pair",
+    "render_series",
+    "render_trace",
+    "rows_to_csv_text",
+    "write_csv",
+]

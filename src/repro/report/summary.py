@@ -1,0 +1,195 @@
+"""One-shot reproduction report.
+
+:func:`generate_report` runs every experiment of the reproduction (at
+either paper scale or a fast reduced scale) and renders a single
+markdown document: trace panels, the CDF comparison, all ablations,
+the future-work study, and the friendliness/interactive extensions.
+
+``python -m repro report --out report.md`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from ..analysis.stats import summarize
+from ..experiments import (
+    CdfConfig,
+    NetworkConfig,
+    TraceConfig,
+    backpropagation_study,
+    compensation_modes,
+    gamma_sweep,
+    initial_window_sweep,
+    run_cdf_experiment,
+    run_dynamic_experiment,
+    run_friendliness_experiment,
+    run_interactive_experiment,
+    run_trace_experiment,
+)
+from ..units import kib, seconds
+from .ascii import render_cdf_pair, render_trace
+from .tables import format_table
+
+__all__ = ["generate_report"]
+
+
+def _code_block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def _trace_section(full: bool) -> List[str]:
+    lines = ["## Figure 1 (upper): source cwnd traces", ""]
+    duration = seconds(1.0) if full else seconds(0.6)
+    for distance in (1, 3):
+        result = run_trace_experiment(
+            TraceConfig(bottleneck_distance=distance, duration=duration)
+        )
+        cell_kb = result.config.transport.cell_size / 1000.0
+        lines.append("### distance to bottleneck: %d hop(s)" % distance)
+        lines.append("")
+        lines.append(_code_block(render_trace(
+            result.trace_kb_ms(),
+            x_label="time [ms]",
+            y_label="source cwnd [KB]",
+            hline=result.optimal_cwnd_cells * cell_kb,
+            hline_label="optimal",
+            height=14,
+        )))
+        lines.append("")
+        lines.append(
+            "exit %.1f ms, peak %d cells, final %d cells, optimal %d cells."
+            % (result.startup_exit_time * 1e3, result.peak_cwnd_cells,
+               result.final_cwnd_cells, result.optimal_cwnd_cells)
+        )
+        lines.append("")
+    return lines
+
+
+def _cdf_section(full: bool) -> List[str]:
+    if full:
+        config = CdfConfig()
+    else:
+        config = CdfConfig(
+            circuit_count=12,
+            payload_bytes=kib(200),
+            network=NetworkConfig(relay_count=16, client_count=12,
+                                  server_count=12),
+        )
+    result = run_cdf_experiment(config)
+    with_kind, without_kind = config.kinds
+    lines = ["## Figure 1 (lower): download-time CDF", ""]
+    lines.append(_code_block(render_cdf_pair(
+        "with CircuitStart", result.cdf(with_kind),
+        "without CircuitStart", result.cdf(without_kind),
+        height=14,
+    )))
+    lines.append("")
+    rows = []
+    for kind in config.kinds:
+        s = summarize(result.ttlb[kind])
+        rows.append([kind, s.median, s.p10, s.p90, s.maximum,
+                     result.fairness(kind)])
+    lines.append(_code_block(format_table(
+        ["controller", "median [s]", "p10", "p90", "max", "fairness"], rows
+    )))
+    lines.append("")
+    lines.append(
+        "Median improvement **%.3f s**, max CDF gap **%.3f s** "
+        "(paper: up to ~0.5 s), dominance %.2f over %d circuits."
+        % (result.median_improvement, result.max_improvement,
+           result.dominance, config.circuit_count)
+    )
+    lines.append("")
+    return lines
+
+
+def _ablation_section(full: bool) -> List[str]:
+    base = None if full else TraceConfig(duration=seconds(0.6))
+    far = None if full else TraceConfig(bottleneck_distance=3,
+                                        duration=seconds(0.6))
+    lines = ["## Ablations (A1-A4)", ""]
+    lines.append(_code_block(format_table(
+        ["gamma", "exit [ms]", "peak", "final", "optimal"],
+        [[r.gamma, r.exit_time_ms, r.peak_cwnd_cells, r.final_cwnd_cells,
+          r.optimal_cwnd_cells] for r in gamma_sweep(base=base)],
+        title="A1 - gamma",
+    )))
+    lines.append("")
+    lines.append(_code_block(format_table(
+        ["mode", "peak", "after exit", "final", "optimal"],
+        [[r.mode, r.peak_cwnd_cells, r.cwnd_after_exit_cells,
+          r.final_cwnd_cells, r.optimal_cwnd_cells]
+         for r in compensation_modes(base=far)],
+        title="A2 - compensation",
+    )))
+    lines.append("")
+    lines.append(_code_block(format_table(
+        ["initial cwnd", "exit [ms]", "final", "optimal"],
+        [[r.initial_cwnd_cells, r.exit_time_ms, r.final_cwnd_cells,
+          r.optimal_cwnd_cells] for r in initial_window_sweep(base=base)],
+        title="A3 - initial window",
+    )))
+    lines.append("")
+    lines.append(_code_block(format_table(
+        ["hop", "final", "optimal", "prediction"],
+        [[r.hop_label, r.final_cwnd_cells, r.optimal_cwnd_cells,
+          r.backprop_prediction_cells] for r in backpropagation_study()],
+        title="A4 - backpropagation",
+    )))
+    lines.append("")
+    return lines
+
+
+def _extensions_section() -> List[str]:
+    lines = ["## Extensions", ""]
+    dynamic = run_dynamic_experiment()
+    rows = []
+    for kind in dynamic.config.controller_kinds:
+        adapt = dynamic.time_to_adapt(kind)
+        rows.append([kind, adapt * 1e3 if adapt is not None else None,
+                     dynamic.reentries[kind]])
+    lines.append(_code_block(format_table(
+        ["controller", "adapt [ms]", "re-entries"], rows,
+        title="Future work - mid-flow rate change (optimal %d -> %d cells)"
+        % (dynamic.optimal_before_cells, dynamic.optimal_after_cells),
+    )))
+    lines.append("")
+    friendly = run_friendliness_experiment()
+    lines.append(_code_block(format_table(
+        ["controller", "added p95 [ms]", "peak queue [pkts]"],
+        [[r.kind, r.added_delay_p95 * 1e3, r.peak_queue_packets]
+         for r in friendly],
+        title="Friendliness toward background traffic",
+    )))
+    lines.append("")
+    interactive = run_interactive_experiment()
+    lines.append(_code_block(format_table(
+        ["controller", "steady mean [ms]", "steady max [ms]"],
+        [[r.kind, r.steady_mean * 1e3, r.steady_max * 1e3]
+         for r in interactive],
+        title="Interactive latency under a competing bulk stream",
+    )))
+    lines.append("")
+    return lines
+
+
+def generate_report(full: bool = False) -> str:
+    """Render the whole reproduction as one markdown document.
+
+    *full* reruns everything at paper scale (minutes); the default
+    reduced scale finishes in well under a minute.
+    """
+    lines = [
+        "# CircuitStart reproduction report",
+        "",
+        "Scale: %s.  See EXPERIMENTS.md for the paper-vs-measured"
+        " discussion." % ("paper (full)" if full else "reduced (fast)"),
+        "",
+    ]
+    lines += _trace_section(full)
+    lines += _cdf_section(full)
+    lines += _ablation_section(full)
+    lines += _extensions_section()
+    return "\n".join(lines)

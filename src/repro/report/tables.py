@@ -1,0 +1,63 @@
+"""Plain-text tables and CSV export for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "write_csv", "rows_to_csv_text"]
+
+
+def _cell_text(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    text_rows: List[List[str]] = [[_cell_text(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row has %d cells, expected %d" % (len(row), len(headers))
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def rows_to_csv_text(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Serialize rows as CSV text (header first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> None:
+    """Write rows as a CSV file at *path*."""
+    with open(path, "w", newline="") as f:
+        f.write(rows_to_csv_text(headers, rows))

@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine.
+
+This package is the bottom layer of the reproduction: a deterministic
+calendar-queue simulator (:class:`Simulator`), cancellable events
+(:class:`EventHandle`), generator-based processes (:func:`spawn`), and
+seeded random streams (:class:`RandomStreams`).  It stands in for ns-3,
+which the paper's nstor framework was built on.
+"""
+
+from .errors import ClockError, SchedulingError, SimulationError, SimulationFinished
+from .events import EventHandle, EventQueue
+from .monitor import PeriodicSampler, QueueProbe
+from .process import Process, Waiter, spawn
+from .rand import RandomStreams, derive_seed
+from .simulator import Simulator
+
+__all__ = [
+    "ClockError",
+    "EventHandle",
+    "EventQueue",
+    "PeriodicSampler",
+    "Process",
+    "QueueProbe",
+    "RandomStreams",
+    "SchedulingError",
+    "SimulationError",
+    "SimulationFinished",
+    "Simulator",
+    "Waiter",
+    "derive_seed",
+    "spawn",
+]

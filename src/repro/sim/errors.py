@@ -1,0 +1,34 @@
+"""Exception hierarchy for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "SimulationFinished",
+    "ClockError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.sim`."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled with invalid parameters.
+
+    Typical causes: a negative delay, an absolute time in the simulated
+    past, or scheduling onto a simulator that has been stopped.
+    """
+
+
+class SimulationFinished(SimulationError):
+    """Raised by a process to terminate itself early.
+
+    Processes (see :mod:`repro.sim.process`) may raise this instead of
+    returning; the engine treats it as a clean exit.
+    """
+
+
+class ClockError(SimulationError):
+    """The simulated clock was asked to move backwards."""

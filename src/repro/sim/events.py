@@ -1,0 +1,174 @@
+"""Events and the pending-event queue.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Two
+details matter for reproducibility and are encoded here rather than in
+the simulator:
+
+* **Stable ordering.**  Events scheduled for the same instant fire in
+  the order they were scheduled (FIFO within a timestamp).  A strictly
+  increasing sequence number breaks ties, so runs are deterministic
+  regardless of heap internals.
+* **Cheap cancellation.**  Cancelling an event marks its handle instead
+  of rebuilding the heap; the queue discards dead entries lazily when
+  they surface.  Timers that are rescheduled often (retransmission
+  timers, idle timeouts) stay O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import SchedulingError
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Handles are returned by :meth:`repro.sim.simulator.Simulator.schedule`
+    (and friends).  They are single-shot: once fired or cancelled the
+    handle is inert.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event was pending and is now cancelled,
+        ``False`` if it had already fired or been cancelled.  Cancelling
+        is idempotent and never raises.
+        """
+        if not self.pending:
+            return False
+        self._cancelled = True
+        # Drop references so cancelled timers do not pin large object
+        # graphs (packets, transports) until they surface in the heap.
+        self.callback = _noop
+        self.args = ()
+        return True
+
+    def _fire(self) -> None:
+        self._fired = True
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "fired" if self._fired else "pending"
+        return "<EventHandle t=%.9f seq=%d %s>" % (self.time, self.seq, state)
+
+
+def _noop(*_args: Any) -> None:
+    """Replacement callback for cancelled events."""
+
+
+class EventQueue:
+    """Min-heap of :class:`EventHandle` ordered by ``(time, seq)``.
+
+    The queue itself knows nothing about simulated time; the simulator
+    validates times before pushing.  This split keeps the heap logic
+    independently testable (including with hypothesis).
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled, unfired) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule *callback(\\*args)* at absolute *time*; return its handle."""
+        if time != time:  # NaN check without importing math
+            raise SchedulingError("event time must not be NaN")
+        handle = EventHandle(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        self._live += 1
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> EventHandle:
+        """Remove and return the next live event.
+
+        Raises :class:`IndexError` when no live events remain (mirrors
+        :meth:`list.pop` semantics, callers check :func:`len` first).
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        __, __, handle = heapq.heappop(self._heap)
+        self._live -= 1
+        return handle
+
+    def note_cancelled(self) -> None:
+        """Inform the queue a previously pushed handle was cancelled.
+
+        The simulator calls this from its ``cancel`` wrapper so that
+        ``len(queue)`` keeps reflecting only live events.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> int:
+        """Drop every pending event; return how many live ones were dropped."""
+        dropped = self._live
+        for __, __, handle in self._heap:
+            handle.cancel()
+        self._heap.clear()
+        self._live = 0
+        return dropped
+
+    def _drop_dead(self) -> None:
+        """Discard cancelled entries sitting at the top of the heap."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)

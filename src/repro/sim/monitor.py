@@ -1,0 +1,84 @@
+"""Periodic measurement probes.
+
+Experiments frequently need a value sampled on a fixed simulated-time
+grid — queue depths, windows, delivered bytes.  :class:`PeriodicSampler`
+wraps the schedule-resample-reschedule pattern; :class:`QueueProbe`
+specializes it for interface queues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .simulator import Simulator
+
+__all__ = ["PeriodicSampler", "QueueProbe"]
+
+
+class PeriodicSampler:
+    """Samples ``probe()`` every *interval* simulated seconds.
+
+    Sampling starts immediately (a sample at the start time) and stops
+    when :meth:`stop` is called, when *until* is reached, or when the
+    optional *while_predicate* turns false — whichever comes first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        interval: float,
+        until: Optional[float] = None,
+        while_predicate: Optional[Callable[[], bool]] = None,
+        name: str = "sampler",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive, got %r" % interval)
+        self.sim = sim
+        self.probe = probe
+        self.interval = interval
+        self.until = until
+        self.while_predicate = while_predicate
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self._stopped = False
+        sim.call_soon(self._tick)
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    @property
+    def max_value(self) -> float:
+        """Largest sampled value (0.0 when nothing was sampled)."""
+        return max(self.values, default=0.0)
+
+    def stop(self) -> None:
+        """Cease sampling after the current tick."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self.until is not None and self.sim.now > self.until:
+            return
+        if self.while_predicate is not None and not self.while_predicate():
+            return
+        self.times.append(self.sim.now)
+        self.values.append(float(self.probe()))
+        self.sim.schedule(self.interval, self._tick)
+
+
+class QueueProbe(PeriodicSampler):
+    """Samples an interface's egress backlog (in packets)."""
+
+    def __init__(self, sim: Simulator, interface, interval: float, **kwargs) -> None:
+        super().__init__(
+            sim,
+            probe=lambda: len(interface.queue),
+            interval=interval,
+            name="queue:%s" % interface.name,
+            **kwargs,
+        )
+        self.interface = interface

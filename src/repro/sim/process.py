@@ -1,0 +1,167 @@
+"""Generator-based simulated processes.
+
+Callbacks are the engine's native currency, but sequential behaviours —
+"send a request, wait, send the next one" — read far better as
+coroutines.  :class:`Process` wraps a generator that *yields* the things
+it wants to wait for:
+
+* ``yield delay`` (a non-negative number) — sleep that many simulated
+  seconds;
+* ``yield event`` (a :class:`~repro.sim.process.Waiter`) — block until
+  the waiter is triggered by other simulation code.
+
+Workload generators in :mod:`repro.experiments` are written as
+processes; the transport machinery itself stays callback-based for
+performance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from .errors import SimulationError, SimulationFinished
+from .simulator import Simulator
+
+__all__ = ["Process", "Waiter", "spawn"]
+
+
+class Waiter:
+    """A one-shot, level-triggered synchronization point.
+
+    A process that yields a waiter suspends until some other code calls
+    :meth:`trigger`.  Triggering before anyone waits is fine — the state
+    is latched, and a later ``yield`` completes immediately.  A value
+    can be carried along and becomes the result of the ``yield``.
+    """
+
+    __slots__ = ("_sim", "_triggered", "_value", "_callbacks")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`trigger` (``None`` until then)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Release every waiter, delivering *value*.  Idempotent calls raise."""
+        if self._triggered:
+            raise SimulationError("waiter already triggered")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.call_soon(callback, value)
+
+    def _subscribe(self, callback: Callable[[Any], None]) -> None:
+        if self._triggered:
+            self._sim.call_soon(callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+#: What a process generator may yield.
+Yieldable = Union[int, float, Waiter]
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    Create processes with :func:`spawn`; the class itself only manages
+    stepping the generator and re-arming the next wakeup.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Yieldable, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self._alive = True
+        self._result: Any = None
+        self._done_waiter = Waiter(sim)
+        sim.call_soon(self._step, None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has more work to do."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value once finished, else ``None``."""
+        return self._result
+
+    @property
+    def done(self) -> Waiter:
+        """A waiter triggered (with the result) when the process ends."""
+        return self._done_waiter
+
+    def _step(self, send_value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self._generator.send(send_value)
+        except (StopIteration, SimulationFinished) as exc:
+            self._finish(getattr(exc, "value", None))
+            return
+        self._arm(target)
+
+    def _arm(self, target: Yieldable) -> None:
+        if isinstance(target, Waiter):
+            target._subscribe(self._step)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._fail(
+                    SimulationError(
+                        "%s yielded a negative delay: %r" % (self.name, target)
+                    )
+                )
+                return
+            self._sim.schedule(float(target), self._step, None)
+        else:
+            self._fail(
+                SimulationError(
+                    "%s yielded unsupported value %r" % (self.name, target)
+                )
+            )
+
+    def _finish(self, result: Any) -> None:
+        self._alive = False
+        self._result = result
+        self._done_waiter.trigger(result)
+
+    def _fail(self, exc: SimulationError) -> None:
+        self._alive = False
+        self._generator.close()
+        raise exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return "<Process %s %s>" % (self.name, state)
+
+
+def spawn(
+    sim: Simulator,
+    generator: Generator[Yieldable, Any, Any],
+    name: Optional[str] = None,
+) -> Process:
+    """Start *generator* as a simulated process on *sim*.
+
+    The first step of the generator runs at the current simulated time
+    (via :meth:`~repro.sim.simulator.Simulator.call_soon`), not
+    immediately, so spawning inside an event handler is safe.
+    """
+    return Process(sim, generator, name=name or getattr(generator, "__name__", "process"))

@@ -1,0 +1,192 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock and the pending-event queue
+and provides the scheduling API every other subsystem builds on:
+
+* :meth:`Simulator.schedule` — run a callback after a relative delay;
+* :meth:`Simulator.schedule_at` — run a callback at an absolute time;
+* :meth:`Simulator.call_soon` — run a callback at the current instant,
+  after the currently executing event (FIFO);
+* :meth:`Simulator.run` / :meth:`run_until` / :meth:`run_for` — drive
+  the event loop;
+* :meth:`Simulator.stop` — halt the loop from inside a callback.
+
+The simulator replaces ns-3 as the substrate the paper's evaluation ran
+on (see DESIGN.md §5): CircuitStart's behaviour depends only on event
+timing, which a calendar-queue DES reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import ClockError, SchedulingError
+from .events import EventHandle, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a float clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0:
+            raise ClockError("start time must be non-negative, got %r" % start_time)
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stop_requested = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def running(self) -> bool:
+        """Whether the event loop is currently executing."""
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(\\*args)* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SchedulingError("delay must be non-negative, got %r" % delay)
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(\\*args)* at absolute simulated *time*."""
+        if time < self._now:
+            raise SchedulingError(
+                "cannot schedule at %r, already at %r" % (time, self._now)
+            )
+        return self._queue.push(time, callback, args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule *callback(\\*args)* at the current instant.
+
+        The callback runs after every event already scheduled for
+        :attr:`now` (FIFO tie-breaking), which makes ``call_soon`` safe
+        for "after this packet is processed" continuations.
+        """
+        return self._queue.push(self._now, callback, args)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel *handle*; return whether it was still pending."""
+        if handle.cancel():
+            self._queue.note_cancelled()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or *max_events* executed)."""
+        self._run_loop(until=None, max_events=max_events)
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Run events with timestamps <= *time*, then set the clock to *time*.
+
+        Events scheduled exactly at *time* do fire.  The clock always
+        ends at *time* even if the queue drained earlier, so subsequent
+        ``run_until`` calls compose naturally.
+        """
+        if time < self._now:
+            raise ClockError("cannot run until %r, already at %r" % (time, self._now))
+        self._run_loop(until=time, max_events=max_events)
+        if not self._stop_requested:
+            self._now = max(self._now, time)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run for *duration* simulated seconds from the current time."""
+        if duration < 0:
+            raise ClockError("duration must be non-negative, got %r" % duration)
+        self.run_until(self._now + duration, max_events=max_events)
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Return ``False`` if none remain."""
+        if not self._queue:
+            return False
+        self._execute_next()
+        return True
+
+    def stop(self) -> None:
+        """Request the running loop to halt after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        if self._running:
+            raise SchedulingError("simulator loop is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self._execute_next()
+                executed += 1
+        finally:
+            self._running = False
+
+    def _execute_next(self) -> None:
+        handle = self._queue.pop()
+        if handle.time < self._now:
+            raise ClockError(
+                "event at %r is in the past (now %r)" % (handle.time, self._now)
+            )
+        self._now = handle.time
+        self._events_executed += 1
+        handle._fire()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Simulator now=%.6f pending=%d executed=%d>" % (
+            self._now,
+            len(self._queue),
+            self._events_executed,
+        )

@@ -1,0 +1,182 @@
+"""Circuit establishment (a one-pass CREATE sweep).
+
+Real Tor telescopes: the client extends the circuit one relay at a
+time, performing a key exchange per hop.  CircuitStart's dynamics only
+begin once data flows, so this reproduction collapses establishment to
+a single onion-wrapped sweep — one CREATE travelling source → sink,
+registering per-hop transport state as it goes, answered by one
+ESTABLISHED travelling back (DESIGN.md §5 notes the simplification).
+What the sweep *does* preserve:
+
+* each relay peels exactly one onion layer and learns only its
+  predecessor and successor (tested in ``tests/tor/test_onion.py``);
+* establishment costs one full circuit round trip of real simulated
+  packets before any data cell may flow;
+* per-hop controllers are created by the circuit's negotiated
+  transport profile, exactly as in the pre-established fast path.
+
+:class:`CircuitBuilder` drives the sweep and exposes a waiter; the
+convenience :func:`establish_then_start` chains establishment into a
+:class:`~repro.tor.circuit.CircuitFlow`-style bulk transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.factory import make_controller
+from ..net.packet import Packet
+from ..net.topology import Topology
+from ..sim.process import Waiter
+from ..transport.config import TransportConfig
+from .apps import BulkSource, SinkApp
+from .cells import CreateCell
+from .circuit import CircuitSpec
+from .hosts import TorHost
+from .onion import wrap_path
+
+__all__ = ["CircuitBuilder", "EstablishedCircuit"]
+
+
+class EstablishedCircuit:
+    """Handle returned by :meth:`CircuitBuilder.establish`."""
+
+    def __init__(self, sim, spec: CircuitSpec, source_host: TorHost) -> None:
+        self.spec = spec
+        self.source_host = source_host
+        self.established = Waiter(sim)
+        self._established_at: Optional[float] = None
+
+    @property
+    def is_established(self) -> bool:
+        return self.established.triggered
+
+    @property
+    def setup_time(self) -> float:
+        """Seconds the CREATE/ESTABLISHED round trip took."""
+        if self._established_at is None:
+            raise RuntimeError(
+                "circuit %d not yet established" % self.spec.circuit_id
+            )
+        return self._established_at
+
+
+class CircuitBuilder:
+    """Runs CREATE sweeps over a topology."""
+
+    def __init__(
+        self,
+        sim,
+        topology: Topology,
+        config: TransportConfig,
+        controller_kind: str = "circuitstart",
+        controller_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.controller_kind = controller_kind
+        self.controller_kwargs = controller_kwargs or {}
+
+    def _controller_factory(self) -> Callable[[], Any]:
+        kind, config, kwargs = self.controller_kind, self.config, self.controller_kwargs
+
+        def make() -> Any:
+            return make_controller(kind, config, **kwargs)
+
+        return make
+
+    def establish(self, spec: CircuitSpec) -> EstablishedCircuit:
+        """Send the CREATE sweep for *spec*; returns an awaitable handle.
+
+        The source's own hop state is registered immediately (it is the
+        sweep initiator); relay and sink states materialize as the
+        CREATE travels.  The handle's ``established`` waiter triggers
+        when the ESTABLISHED confirmation returns to the source.
+        """
+        path = spec.node_path
+        make = self._controller_factory()
+        # Every node on the path runs the Tor software; the CREATE sweep
+        # only creates *circuit* state, not the hosts themselves.
+        for name in path:
+            TorHost.install(self.sim, self.topology.node(name))
+        source_host = TorHost.install(self.sim, self.topology.node(spec.source))
+        source_host.register_source(spec.circuit_id, path[1], self.config, make())
+
+        handle = EstablishedCircuit(self.sim, spec, source_host)
+        started_at = self.sim.now
+
+        def on_established() -> None:
+            handle._established_at = self.sim.now - started_at
+            handle.established.trigger(self.sim.now)
+
+        source_host.expect_established(spec.circuit_id, on_established)
+
+        # Relays and the sink each get one onion layer; the source's
+        # transport profile rides along for them to build their senders.
+        onion = wrap_path(list(spec.relays) + [spec.sink])
+        create = CreateCell(spec.circuit_id, onion, profile=(self.config, make))
+        packet = Packet(
+            create.size,
+            payload=create,
+            src=spec.source,
+            dst=path[1],
+            created_at=self.sim.now,
+        )
+        self.topology.node(spec.source).send(packet)
+        return handle
+
+    def establish_then_start(
+        self,
+        spec: CircuitSpec,
+        payload_bytes: int,
+    ) -> "EstablishedFlow":
+        """Establish *spec*, then run a bulk transfer over it."""
+        handle = self.establish(spec)
+        return EstablishedFlow(self, spec, handle, payload_bytes)
+
+
+class EstablishedFlow:
+    """A bulk transfer that begins once its circuit is established."""
+
+    def __init__(
+        self,
+        builder: CircuitBuilder,
+        spec: CircuitSpec,
+        handle: EstablishedCircuit,
+        payload_bytes: int,
+    ) -> None:
+        self.builder = builder
+        self.spec = spec
+        self.handle = handle
+        self.payload_bytes = payload_bytes
+        self.sink = SinkApp(builder.sim, spec.circuit_id, payload_bytes)
+        self.data_started_at: Optional[float] = None
+        self.source_app: Optional[BulkSource] = None
+        handle.established._subscribe(self._on_established)
+
+    def _on_established(self, _value: Any) -> None:
+        sim = self.builder.sim
+        sink_host = TorHost.install(
+            sim, self.builder.topology.node(self.spec.sink)
+        )
+        sink_host.attach_sink_app(self.spec.circuit_id, self.sink)
+        source_host = self.handle.source_host
+        sender = source_host.circuits[self.spec.circuit_id].sender
+        assert sender is not None
+        self.data_started_at = sim.now
+        self.source_app = BulkSource(
+            sim, sender, self.spec.circuit_id, self.payload_bytes, start_time=sim.now
+        )
+
+    @property
+    def completed(self) -> Waiter:
+        """Triggered (with the timestamp) when the last byte arrives."""
+        return self.sink.completed
+
+    @property
+    def time_to_last_byte(self) -> float:
+        """Transfer duration excluding circuit establishment."""
+        if not self.sink.completed.triggered or self.data_started_at is None:
+            raise RuntimeError("flow on circuit %d not complete" % self.spec.circuit_id)
+        return self.sink.completed.value - self.data_started_at

@@ -1,0 +1,198 @@
+"""Circuits and end-to-end data flows.
+
+A :class:`CircuitSpec` names the nodes of one circuit in *data
+direction* order: the data source first (for a download, the content
+origin behind the exit), then the relays, then the data sink (the
+client).  :class:`CircuitFlow` wires the per-hop transport along that
+path on an existing topology, attaches the workload, and exposes the
+measurements the experiments need:
+
+* ``flow.completed`` — a waiter triggered when the last byte arrives;
+* ``flow.time_to_last_byte`` — the paper's Figure-1c metric;
+* ``flow.source_controller`` — the source's window controller, whose
+  trace is the paper's Figure-1a/b panel;
+* ``flow.hop_senders`` — every hop's sender, source first, used by the
+  backpropagation ablation.
+
+Every hop gets its own controller instance of the same *kind* — the
+start-up scheme runs at the source and at every relay, exactly as the
+paper describes ("Each relay starts with an initial congestion window
+of two cells").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.factory import make_controller
+from ..net.topology import Topology
+from ..transport.config import TransportConfig
+from ..transport.controller import WindowController
+from ..transport.hop import HopSender
+from .apps import BulkSource, SinkApp
+from .hosts import TorHost
+
+__all__ = ["CircuitSpec", "CircuitFlow", "allocate_circuit_id"]
+
+_circuit_ids = itertools.count(1)
+
+
+def allocate_circuit_id() -> int:
+    """Hand out a process-unique circuit identifier."""
+    return next(_circuit_ids)
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """The nodes of one circuit, in data direction."""
+
+    circuit_id: int
+    source: str
+    relays: Sequence[str]
+    sink: str
+
+    def __post_init__(self) -> None:
+        path = self.node_path
+        if len(set(path)) != len(path):
+            raise ValueError("circuit path contains duplicates: %s" % (path,))
+        if not self.relays:
+            raise ValueError("a circuit needs at least one relay")
+
+    @property
+    def node_path(self) -> List[str]:
+        """Source, relays, sink — the data's forward direction."""
+        return [self.source, *self.relays, self.sink]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of transport hops (links between circuit nodes)."""
+        return len(self.node_path) - 1
+
+
+class CircuitFlow:
+    """One unidirectional bulk transfer over one circuit."""
+
+    def __init__(
+        self,
+        sim,
+        topology: Topology,
+        spec: CircuitSpec,
+        config: TransportConfig,
+        controller_kind: str = "circuitstart",
+        payload_bytes: int = 512 * 1024,
+        start_time: float = 0.0,
+        controller_kwargs: Optional[Dict[str, Any]] = None,
+        workload: str = "bulk",
+    ) -> None:
+        if workload not in ("bulk", "none"):
+            raise ValueError("workload must be 'bulk' or 'none', got %r" % workload)
+        self.sim = sim
+        self.topology = topology
+        self.spec = spec
+        self.config = config
+        self.controller_kind = controller_kind
+        self.payload_bytes = payload_bytes
+        self.start_time = start_time
+        kwargs = controller_kwargs or {}
+
+        path = spec.node_path
+        self.hosts: List[TorHost] = [
+            TorHost.install(sim, topology.node(name)) for name in path
+        ]
+        self.controllers: List[WindowController] = []
+        self.hop_senders: List[HopSender] = []
+
+        # Source hop.
+        source_controller = make_controller(controller_kind, config, **kwargs)
+        self.controllers.append(source_controller)
+        self.hop_senders.append(
+            self.hosts[0].register_source(
+                spec.circuit_id, path[1], config, source_controller
+            )
+        )
+        # Relay hops.
+        for i in range(1, len(path) - 1):
+            controller = make_controller(controller_kind, config, **kwargs)
+            self.controllers.append(controller)
+            self.hop_senders.append(
+                self.hosts[i].register_relay(
+                    spec.circuit_id, path[i - 1], path[i + 1], config, controller
+                )
+            )
+        # Sink and workload.  With workload="none" the caller installs
+        # its own apps (e.g. a stream scheduler + multi-stream sink) via
+        # the hosts and hop senders exposed on this object.
+        if workload == "bulk":
+            self.sink = SinkApp(sim, spec.circuit_id, payload_bytes)
+            self.hosts[-1].register_sink(spec.circuit_id, path[-2], self.sink)
+            self.source_app: Optional[BulkSource] = BulkSource(
+                sim,
+                self.hop_senders[0],
+                spec.circuit_id,
+                payload_bytes,
+                start_time=start_time,
+            )
+        else:
+            self.sink = None
+            self.hosts[-1].register_sink(spec.circuit_id, path[-2], None)
+            self.source_app = None
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def source_controller(self) -> WindowController:
+        """The data source's window controller (traced in Fig. 1a/b)."""
+        return self.controllers[0]
+
+    @property
+    def completed(self):
+        """Waiter triggered (with the timestamp) at the last byte."""
+        if self.sink is None:
+            raise RuntimeError("flow has no bulk sink (workload='none')")
+        return self.sink.completed
+
+    @property
+    def done(self) -> bool:
+        """Whether the transfer has fully arrived at the sink."""
+        return self.sink is not None and self.sink.done
+
+    @property
+    def time_to_last_byte(self) -> float:
+        """Seconds from transfer start to the last byte at the sink.
+
+        Only meaningful once :attr:`done`; raises otherwise so broken
+        experiments fail loudly instead of reporting zeros.
+        """
+        if self.sink is None:
+            raise RuntimeError("flow has no bulk sink (workload='none')")
+        if not self.sink.completed.triggered:
+            raise RuntimeError(
+                "circuit %d has not completed (received %d/%d bytes)"
+                % (self.spec.circuit_id, self.sink.received_bytes, self.payload_bytes)
+            )
+        return self.sink.completed.value - self.start_time
+
+    def trace_cwnd(self, recorder) -> None:
+        """Record the source's cwnd evolution into *recorder*.
+
+        The recorder is any object with ``add(time, value)``; values are
+        window sizes in cells.  An initial sample at the flow's start
+        time anchors the step plot.
+        """
+        recorder.add(self.start_time, self.source_controller.cwnd_cells)
+        self.source_controller.bind_cwnd_listener(recorder.add)
+
+    def relay_cwnds(self) -> List[int]:
+        """Current windows along the circuit, source hop first."""
+        return [controller.cwnd_cells for controller in self.controllers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<CircuitFlow c%d %s %s>" % (
+            self.spec.circuit_id,
+            "->".join(self.spec.node_path),
+            self.controller_kind,
+        )

@@ -1,0 +1,337 @@
+"""Per-node Tor protocol state (:class:`TorHost`).
+
+A :class:`TorHost` is the packet handler installed on every node that
+participates in circuits (clients, relays, exits, destination servers —
+the star topology's hub stays a dumb forwarder).  One host serves many
+circuits; per-circuit state lives in :class:`CircuitState`.
+
+Roles per circuit
+-----------------
+* **source** — owns a :class:`~repro.transport.hop.HopSender` toward
+  the first relay; application data enters here.
+* **relay** — owns a hop sender toward the next hop *and* issues a
+  :class:`~repro.tor.cells.FeedbackCell` to its predecessor at the
+  moment it forwards a cell ("when forwarding a cell to its successor,
+  each relay issues a feedback message to its predecessor").
+* **sink** — delivers payload to the application and acknowledges every
+  cell immediately (consumption counts as forwarding).
+
+The feedback wiring uses the hop sender's *token* mechanism: when a
+relay receives a data cell, the upstream sequence number rides along as
+the token; when the relay's own window finally admits the cell, the
+transmit callback fires and the token tells the host which upstream
+sequence to acknowledge.  RTTs measured by the predecessor therefore
+include exactly the successor's queueing — the signal CircuitStart
+feeds into its Vegas detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..net.node import Node
+from ..net.packet import Packet
+from ..transport.config import TransportConfig
+from ..transport.controller import WindowController
+from ..transport.hop import HopSender
+from .cells import (
+    Cell,
+    CellKind,
+    CreateCell,
+    DataCell,
+    DestroyCell,
+    EstablishedCell,
+    FeedbackCell,
+)
+
+__all__ = ["CircuitState", "TorHost"]
+
+
+@dataclass
+class CircuitState:
+    """One circuit's state at one host."""
+
+    circuit_id: int
+    prev_hop: Optional[str] = None  # toward the data source (feedback target)
+    next_hop: Optional[str] = None  # toward the data sink
+    sender: Optional[HopSender] = None
+    sink: Optional[Any] = None  # application object with .on_cell(cell)
+    established: bool = False
+    #: Next in-order upstream sequence number this host will accept.
+    next_inbound_seq: int = 0
+    #: Retransmitted copies of already-accepted cells (re-acked, dropped).
+    duplicate_cells: int = 0
+    #: Out-of-order arrivals dropped while awaiting a retransmission.
+    gap_drops: int = 0
+
+    @property
+    def is_source(self) -> bool:
+        return self.prev_hop is None and self.sender is not None
+
+    @property
+    def is_sink(self) -> bool:
+        return self.next_hop is None
+
+
+class TorHost:
+    """Protocol handler multiplexing circuits on one node."""
+
+    def __init__(self, sim, node: Node) -> None:
+        self.sim = sim
+        self.node = node
+        self.circuits: Dict[int, CircuitState] = {}
+        self._established_callbacks: Dict[int, Callable[[], None]] = {}
+        self.feedback_sent = 0
+        self.cells_forwarded = 0
+        self.cells_delivered = 0
+        node.set_handler(self)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def install(cls, sim, node: Node) -> "TorHost":
+        """Return the node's TorHost, creating and installing one if needed."""
+        handler = getattr(node, "_handler", None)
+        if isinstance(handler, cls):
+            return handler
+        return cls(sim, node)
+
+    # ------------------------------------------------------------------
+    # Circuit state registration
+    # ------------------------------------------------------------------
+
+    def register_source(
+        self,
+        circuit_id: int,
+        next_hop: str,
+        config: TransportConfig,
+        controller: WindowController,
+    ) -> HopSender:
+        """Register this host as circuit *circuit_id*'s data source."""
+        state = self._new_state(circuit_id)
+        state.next_hop = next_hop
+        state.sender = self._make_sender(state, config, controller)
+        state.established = True
+        return state.sender
+
+    def register_relay(
+        self,
+        circuit_id: int,
+        prev_hop: str,
+        next_hop: str,
+        config: TransportConfig,
+        controller: WindowController,
+    ) -> HopSender:
+        """Register this host as a forwarding relay on the circuit."""
+        state = self._new_state(circuit_id)
+        state.prev_hop = prev_hop
+        state.next_hop = next_hop
+        state.sender = self._make_sender(state, config, controller)
+        state.established = True
+        return state.sender
+
+    def register_sink(self, circuit_id: int, prev_hop: str, sink_app: Any) -> None:
+        """Register this host as the circuit's data sink."""
+        state = self.circuits.get(circuit_id)
+        if state is None:
+            state = self._new_state(circuit_id)
+            state.prev_hop = prev_hop
+        state.sink = sink_app
+        state.established = True
+
+    def attach_sink_app(self, circuit_id: int, sink_app: Any) -> None:
+        """Attach the application to a sink state created by establishment."""
+        state = self._state(circuit_id)
+        if not state.is_sink:
+            raise ValueError(
+                "circuit %d at %s is not a sink" % (circuit_id, self.node.name)
+            )
+        state.sink = sink_app
+
+    def teardown(self, circuit_id: int) -> None:
+        """Forget all local state for *circuit_id* (idempotent)."""
+        self.circuits.pop(circuit_id, None)
+        self._established_callbacks.pop(circuit_id, None)
+
+    def expect_established(
+        self, circuit_id: int, callback: Callable[[], None]
+    ) -> None:
+        """Invoke *callback* when the ESTABLISHED confirmation arrives."""
+        self._established_callbacks[circuit_id] = callback
+
+    def _new_state(self, circuit_id: int) -> CircuitState:
+        if circuit_id in self.circuits:
+            raise ValueError(
+                "circuit %d already registered at %s" % (circuit_id, self.node.name)
+            )
+        state = CircuitState(circuit_id)
+        self.circuits[circuit_id] = state
+        return state
+
+    def _state(self, circuit_id: int) -> CircuitState:
+        try:
+            return self.circuits[circuit_id]
+        except KeyError:
+            raise KeyError(
+                "no state for circuit %d at %s" % (circuit_id, self.node.name)
+            ) from None
+
+    def _make_sender(
+        self,
+        state: CircuitState,
+        config: TransportConfig,
+        controller: WindowController,
+    ) -> HopSender:
+        label = "c%d:%s->%s" % (state.circuit_id, self.node.name, state.next_hop)
+
+        def transmit(cell: Cell, token: Any) -> None:
+            self.cells_forwarded += 1
+            packet = self._make_packet(cell, state.next_hop)
+            if token is not None and state.prev_hop is not None:
+                # A relay acknowledges the upstream copy the moment it
+                # forwards the cell toward its successor — i.e. when
+                # the cell's serialization onto the egress wire begins,
+                # *after* any time spent in the egress queue.  The
+                # predecessor's RTT therefore measures this relay's
+                # real backlog, which is the signal CircuitStart's
+                # Vegas detector relies on.
+                acked_seq = token
+                packet.metadata["on_tx_start"] = (
+                    lambda: self._send_feedback(state, acked_seq)
+                )
+            self.node.send(packet)
+
+        return HopSender(self.sim, config, controller, transmit, label=label)
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, node: Node) -> None:
+        cell = packet.payload
+        if not isinstance(cell, Cell):
+            raise TypeError(
+                "%s received non-cell payload %r" % (self.node.name, packet.payload)
+            )
+        if cell.kind is CellKind.FEEDBACK:
+            self._handle_feedback(cell)
+        elif cell.kind is CellKind.DATA:
+            self._handle_data(cell)
+        elif cell.kind is CellKind.CREATE:
+            self._handle_create(cell, packet)
+        elif cell.kind is CellKind.ESTABLISHED:
+            self._handle_established(cell)
+        elif cell.kind is CellKind.DESTROY:
+            self._handle_destroy(cell)
+        else:  # pragma: no cover - exhaustive over CellKind
+            raise ValueError("unhandled cell kind %r" % cell.kind)
+
+    def _handle_feedback(self, cell: FeedbackCell) -> None:
+        state = self._state(cell.circuit_id)
+        if state.sender is None:
+            raise RuntimeError(
+                "feedback for circuit %d reached non-sender %s"
+                % (cell.circuit_id, self.node.name)
+            )
+        state.sender.on_feedback(cell.acked_seq)
+
+    def _handle_data(self, cell: DataCell) -> None:
+        state = self._state(cell.circuit_id)
+        # In-order acceptance (go-back-N receiver).  On the default
+        # lossless substrate every arrival matches, so this is a no-op;
+        # with loss it dedups retransmitted copies (re-acknowledging
+        # them so the upstream sender makes progress) and drops
+        # out-of-order arrivals that a retransmission will replace.
+        if cell.hop_seq < state.next_inbound_seq:
+            state.duplicate_cells += 1
+            if state.prev_hop is not None:
+                self._send_feedback(state, cell.hop_seq)
+            return
+        if cell.hop_seq > state.next_inbound_seq:
+            state.gap_drops += 1
+            return
+        state.next_inbound_seq += 1
+        if state.sink is not None:
+            # Sink role: deliver to the application, acknowledge at once
+            # (consumption is the last "forwarding" step).
+            self.cells_delivered += 1
+            arrival_seq = cell.hop_seq
+            state.sink.on_cell(cell)
+            self._send_feedback(state, arrival_seq)
+            return
+        if state.sender is None:
+            raise RuntimeError(
+                "data cell on circuit %d reached %s, which is neither relay "
+                "nor sink" % (cell.circuit_id, self.node.name)
+            )
+        # Relay role: the upstream sequence number travels as the token
+        # and is acknowledged when our own window releases the cell.
+        state.sender.enqueue(cell, token=cell.hop_seq)
+
+    def _handle_create(self, cell: CreateCell, packet: Packet) -> None:
+        layer, rest = cell.onion.peel(self.node.name)
+        profile = cell.profile
+        if rest is None or layer.next_hop is None:
+            # Innermost layer: this host terminates the circuit.
+            state = self._new_state(cell.circuit_id)
+            state.prev_hop = packet.src
+            state.established = True
+            self._send_cell(EstablishedCell(cell.circuit_id), packet.src)
+            return
+        if profile is None:
+            raise RuntimeError(
+                "CREATE for circuit %d carries no transport profile"
+                % cell.circuit_id
+            )
+        config, make = profile
+        self.register_relay(
+            cell.circuit_id, packet.src, layer.next_hop, config, make()
+        )
+        self._send_cell(CreateCell(cell.circuit_id, rest, profile), layer.next_hop)
+
+    def _handle_established(self, cell: EstablishedCell) -> None:
+        state = self._state(cell.circuit_id)
+        state.established = True
+        if state.prev_hop is not None:
+            self._send_cell(EstablishedCell(cell.circuit_id), state.prev_hop)
+            return
+        callback = self._established_callbacks.pop(cell.circuit_id, None)
+        if callback is not None:
+            callback()
+
+    def _handle_destroy(self, cell: DestroyCell) -> None:
+        state = self.circuits.get(cell.circuit_id)
+        if state is None:
+            return
+        next_hop = state.next_hop
+        self.teardown(cell.circuit_id)
+        if next_hop is not None:
+            self._send_cell(DestroyCell(cell.circuit_id), next_hop)
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def _send_feedback(self, state: CircuitState, acked_seq: int) -> None:
+        assert state.prev_hop is not None
+        feedback = FeedbackCell(state.circuit_id, acked_seq)
+        self.feedback_sent += 1
+        self._send_cell(feedback, state.prev_hop)
+
+    def _make_packet(self, cell: Cell, dst: str) -> Packet:
+        return Packet(
+            cell.size,
+            payload=cell,
+            src=self.node.name,
+            dst=dst,
+            created_at=self.sim.now,
+        )
+
+    def _send_cell(self, cell: Cell, dst: str) -> None:
+        self.node.send(self._make_packet(cell, dst))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TorHost %s circuits=%d>" % (self.node.name, len(self.circuits))

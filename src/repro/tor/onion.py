@@ -1,0 +1,107 @@
+"""Structural onion routing.
+
+Real Tor wraps each cell in per-hop layers of AES; the *performance*
+evaluation of CircuitStart is crypto-agnostic (cells keep their fixed
+512-byte size no matter how many layers they carry), so this module
+implements onion routing *structurally*: layers are real objects that
+must be peeled in the right order by the right relay, but the
+"encryption" is a name check instead of a cipher.  DESIGN.md §5 records
+this substitution.
+
+The circuit builder (:mod:`repro.tor.builder`) uses onions for its
+CREATE sweep: the client wraps the hop list so that each relay learns
+only its predecessor and successor — the property onion routing exists
+to provide — and tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["OnionLayer", "OnionPacket", "OnionError", "wrap_path", "peel"]
+
+
+class OnionError(Exception):
+    """A layer was peeled by the wrong relay or the onion is exhausted."""
+
+
+@dataclass(frozen=True)
+class OnionLayer:
+    """One layer: readable only by *relay_name*, reveals *next_hop*.
+
+    ``next_hop`` is ``None`` at the innermost layer (the last relay of
+    the circuit, which answers instead of forwarding).
+    """
+
+    relay_name: str
+    next_hop: Optional[str]
+
+
+class OnionPacket:
+    """An immutable stack of layers, outermost first."""
+
+    __slots__ = ("_layers",)
+
+    def __init__(self, layers: Sequence[OnionLayer]) -> None:
+        if not layers:
+            raise OnionError("an onion needs at least one layer")
+        self._layers: Tuple[OnionLayer, ...] = tuple(layers)
+
+    @property
+    def depth(self) -> int:
+        """Number of remaining layers."""
+        return len(self._layers)
+
+    @property
+    def outer_layer(self) -> OnionLayer:
+        """The layer the next relay will peel."""
+        return self._layers[0]
+
+    def peel(self, relay_name: str) -> Tuple[OnionLayer, Optional["OnionPacket"]]:
+        """Remove the outer layer as *relay_name*.
+
+        Returns the revealed layer and the remaining onion (``None``
+        when this was the innermost layer).  Raises :class:`OnionError`
+        if the caller is not the layer's addressee — the structural
+        stand-in for failing to decrypt.
+        """
+        outer = self._layers[0]
+        if outer.relay_name != relay_name:
+            raise OnionError(
+                "layer addressed to %r cannot be peeled by %r"
+                % (outer.relay_name, relay_name)
+            )
+        rest = self._layers[1:]
+        return outer, OnionPacket(rest) if rest else None
+
+    def route(self) -> List[str]:
+        """The relay names of all remaining layers, outermost first.
+
+        Exists for tests and debugging; a real onion would not reveal
+        this, which is why no production code path calls it.
+        """
+        return [layer.relay_name for layer in self._layers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<OnionPacket depth=%d head=%s>" % (self.depth, self._layers[0].relay_name)
+
+
+def wrap_path(relay_names: Sequence[str]) -> OnionPacket:
+    """Build the onion for a CREATE sweep along *relay_names*.
+
+    Layer *i* is addressed to ``relay_names[i]`` and reveals
+    ``relay_names[i + 1]`` as the next hop (``None`` for the last).
+    """
+    if not relay_names:
+        raise OnionError("cannot wrap an empty path")
+    layers = [
+        OnionLayer(name, relay_names[i + 1] if i + 1 < len(relay_names) else None)
+        for i, name in enumerate(relay_names)
+    ]
+    return OnionPacket(layers)
+
+
+def peel(onion: OnionPacket, relay_name: str) -> Tuple[OnionLayer, Optional[OnionPacket]]:
+    """Module-level convenience for :meth:`OnionPacket.peel`."""
+    return onion.peel(relay_name)

@@ -1,0 +1,254 @@
+"""The per-hop sending machinery.
+
+A :class:`HopSender` lives at one node and manages one direction of one
+circuit hop: it buffers outbound cells, transmits as many as the
+congestion window admits, timestamps transmissions, and converts
+feedback arrivals into RTT samples for its
+:class:`~repro.transport.controller.WindowController`.
+
+The class is deliberately decoupled from both the network layer and the
+Tor layer:
+
+* transmission happens through an injected ``transmit(cell, token)``
+  callable (the Tor host wraps the cell into a packet and routes it);
+* cells are opaque; the sender only touches ``cell.size`` and assigns
+  ``cell.hop_seq`` (its per-hop sequence number);
+* the optional *token* rides along with a cell from :meth:`enqueue` to
+  the transmit callback, which is how a relay remembers which upstream
+  cell to acknowledge when it forwards (see
+  :mod:`repro.tor.hosts` for the feedback wiring).
+
+This mirrors the paper's transport assumption: "a custom, window-based
+transport protocol that allows low-latency communication between
+neighboring relays" — the BackTap model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from .config import TransportConfig
+from .controller import WindowController
+
+__all__ = ["HopSender", "HopBrokenError"]
+
+#: Signature of the injected transmitter.
+TransmitFn = Callable[[Any, Any], None]
+
+
+class HopBrokenError(RuntimeError):
+    """A reliable hop exhausted its retransmission budget.
+
+    Raised from the retransmission timer when
+    ``max_retransmission_rounds`` consecutive timeouts pass without a
+    single acknowledgment — the per-hop analogue of a broken circuit.
+    """
+
+
+class HopSender:
+    """Window-governed sender for one circuit hop.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (used only for the clock).
+    config:
+        Transport tunables shared by the circuit.
+    controller:
+        The congestion-window controller owning this hop's cwnd.
+    transmit:
+        Callable invoked as ``transmit(cell, token)`` to actually put
+        the cell on the wire toward the next hop.
+    label:
+        Diagnostic name, e.g. ``"c1:relay2->relay3"``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        config: TransportConfig,
+        controller: WindowController,
+        transmit: TransmitFn,
+        label: str = "",
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.controller = controller
+        self.label = label
+        self._transmit = transmit
+        self._buffer: Deque[Tuple[Any, Any]] = deque()
+        self._send_times: Dict[int, float] = {}
+        self._next_seq = 0
+        self.cells_sent = 0
+        self.feedback_received = 0
+        self.duplicate_feedback = 0
+        self.max_buffer_depth = 0
+        self.on_drained: Optional[Callable[[], None]] = None
+        # --- reliability (go-back-N) state, active when config.reliable.
+        self._unacked: Dict[int, Tuple[Any, Any]] = {}
+        self._retransmitted: Set[int] = set()
+        self._retx_timer = None
+        self._timeout_streak = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        #: Optional pull source: consulted for the next ``(cell, token)``
+        #: whenever the window has space and the push buffer is empty.
+        #: Returning ``None`` means "nothing to send right now".  Stream
+        #: schedulers use this to interleave streams cell by cell
+        #: instead of pre-queueing whole transfers (which would create
+        #: head-of-line blocking inside the hop buffer).
+        self.cell_source: Optional[Callable[[], Optional[Tuple[Any, Any]]]] = None
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def buffered_cells(self) -> int:
+        """Cells waiting for window space at this hop."""
+        return len(self._buffer)
+
+    @property
+    def inflight_cells(self) -> int:
+        """Cells transmitted but not yet acknowledged by feedback."""
+        return len(self._send_times)
+
+    @property
+    def idle(self) -> bool:
+        """No buffered and no in-flight cells."""
+        return not self._buffer and not self._send_times
+
+    @property
+    def cwnd_cells(self) -> int:
+        """Convenience passthrough to the controller's window."""
+        return self.controller.cwnd_cells
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def enqueue(self, cell: Any, token: Any = None) -> None:
+        """Accept *cell* for transmission toward the next hop."""
+        self._buffer.append((cell, token))
+        if len(self._buffer) > self.max_buffer_depth:
+            self.max_buffer_depth = len(self._buffer)
+        self.pump()
+
+    def pump(self) -> None:
+        """Transmit as many cells as the window allows.
+
+        Buffered (pushed) cells go first; once the buffer is empty the
+        optional :attr:`cell_source` is pulled for more.
+        """
+        while self.controller.can_send():
+            if self._buffer:
+                cell, token = self._buffer.popleft()
+            elif self.cell_source is not None:
+                pulled = self.cell_source()
+                if pulled is None:
+                    return
+                cell, token = pulled
+            else:
+                return
+            self._transmit_one(cell, token)
+
+    def _transmit_one(self, cell: Any, token: Any) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        cell.hop_seq = seq
+        now = self.sim.now
+        self._send_times[seq] = now
+        self.cells_sent += 1
+        if self.config.reliable:
+            self._unacked[seq] = (cell, token)
+            self._arm_timer()
+        self.controller.on_cell_sent(now)
+        self._transmit(cell, token)
+
+    def on_feedback(self, seq: int) -> None:
+        """Process a feedback ("moving") message for hop sequence *seq*.
+
+        In reliable mode the acknowledgment is cumulative (the receiver
+        only accepts in-order cells, so *seq* moving implies everything
+        before it moved too); in the default lossless mode it is exact.
+        Unknown or repeated sequence numbers are counted and ignored.
+        """
+        if self.config.reliable:
+            acked = sorted(s for s in self._send_times if s <= seq)
+            if not acked:
+                self.duplicate_feedback += 1
+                return
+            self._timeout_streak = 0
+            for acked_seq in acked:
+                self._complete_one(acked_seq)
+            self._arm_timer()
+        else:
+            if seq not in self._send_times:
+                self.duplicate_feedback += 1
+                return
+            self._complete_one(seq)
+        self.pump()
+        if self.idle and self.on_drained is not None:
+            self.on_drained()
+
+    def _complete_one(self, seq: int) -> None:
+        sent_at = self._send_times.pop(seq)
+        self._unacked.pop(seq, None)
+        now = self.sim.now
+        self.feedback_received += 1
+        # Karn's rule: retransmitted cells yield no RTT sample.
+        sampled = seq not in self._retransmitted
+        self._retransmitted.discard(seq)
+        self.controller.on_feedback(now - sent_at, now, sampled=sampled)
+
+    # ------------------------------------------------------------------
+    # Retransmission (go-back-N, RFC 6298 timeout with backoff)
+    # ------------------------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+        if not self._unacked:
+            self._timeout_streak = 0
+            return
+        rto = self.controller.rtt.retransmission_timeout(
+            minimum=self.config.rto_min,
+            maximum=self.config.rto_max,
+            fallback=self.config.rto_initial,
+        )
+        rto = min(rto * (2 ** self._timeout_streak), self.config.rto_max)
+        self._retx_timer = self.sim.schedule(rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._retx_timer = None
+        if not self._unacked:
+            return
+        self.timeouts += 1
+        self._timeout_streak += 1
+        if self._timeout_streak > self.config.max_retransmission_rounds:
+            raise HopBrokenError(
+                "hop %s: %d retransmission rounds without progress"
+                % (self.label or "?", self._timeout_streak - 1)
+            )
+        # Go-back-N: resend every unacked cell, oldest first.  Clones
+        # are sent because the original objects may already be queued
+        # (or mutated) further down the circuit.
+        for seq in sorted(self._unacked):
+            cell, token = self._unacked[seq]
+            clone = cell.clone() if hasattr(cell, "clone") else cell
+            clone.hop_seq = seq
+            self._send_times[seq] = self._send_times.get(seq, self.sim.now)
+            self._retransmitted.add(seq)
+            self.retransmissions += 1
+            self._transmit(clone, token)
+        self._arm_timer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<HopSender %s cwnd=%d inflight=%d buffered=%d>" % (
+            self.label or "?",
+            self.controller.cwnd_cells,
+            self.inflight_cells,
+            self.buffered_cells,
+        )

@@ -1,0 +1,181 @@
+"""Round-trip-time estimation for the per-hop feedback loop.
+
+CircuitStart measures, per cell, the time between transmitting the cell
+and receiving the corresponding feedback message from the successor.
+Two derived values drive the algorithm:
+
+* ``base_rtt`` — the minimum RTT ever observed on this hop, a proxy for
+  the unloaded feedback-loop delay (exactly TCP Vegas' BaseRTT);
+* ``current_rtt`` — a representative RTT for the *latest round* of the
+  window growth; we aggregate the round's samples (mean by default,
+  configurable to min/max/last for ablations).
+
+The estimator also keeps an EWMA ("smoothed") RTT for diagnostics and
+for the optional retransmission timer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["RttEstimator", "RoundAggregate"]
+
+#: Supported per-round aggregation functions.
+_AGGREGATES = ("mean", "min", "max", "last")
+
+
+class RoundAggregate:
+    """Collects the RTT samples of one growth round."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def add(self, rtt: float) -> None:
+        self.samples.append(rtt)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def value(self, how: str = "mean") -> float:
+        """The round's representative RTT under aggregation *how*."""
+        if not self.samples:
+            raise ValueError("round has no RTT samples yet")
+        if how == "mean":
+            return math.fsum(self.samples) / len(self.samples)
+        if how == "min":
+            return min(self.samples)
+        if how == "max":
+            return max(self.samples)
+        if how == "last":
+            return self.samples[-1]
+        raise ValueError("unknown aggregate %r (want one of %s)" % (how, _AGGREGATES))
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+class RttEstimator:
+    """Tracks base RTT, per-round RTT and a smoothed RTT for one hop.
+
+    Parameters
+    ----------
+    aggregate:
+        How a round's samples collapse into ``current_rtt``
+        (default ``"mean"``).
+    ewma_gain:
+        Gain of the smoothed-RTT filter (RFC 6298 uses 1/8).
+    """
+
+    def __init__(self, aggregate: str = "mean", ewma_gain: float = 0.125) -> None:
+        if aggregate not in _AGGREGATES:
+            raise ValueError(
+                "unknown aggregate %r (want one of %s)" % (aggregate, _AGGREGATES)
+            )
+        if not 0 < ewma_gain <= 1:
+            raise ValueError("ewma gain must be in (0, 1], got %r" % ewma_gain)
+        self.aggregate = aggregate
+        self.ewma_gain = ewma_gain
+        self._base_rtt: Optional[float] = None
+        self._smoothed: Optional[float] = None
+        self._rttvar: Optional[float] = None
+        self._last_sample: Optional[float] = None
+        self._round = RoundAggregate()
+        self.sample_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def base_rtt(self) -> Optional[float]:
+        """Minimum RTT ever seen on this hop (``None`` before any sample)."""
+        return self._base_rtt
+
+    @property
+    def smoothed_rtt(self) -> Optional[float]:
+        """EWMA-smoothed RTT (``None`` before any sample)."""
+        return self._smoothed
+
+    @property
+    def last_sample(self) -> Optional[float]:
+        """Most recent raw sample."""
+        return self._last_sample
+
+    @property
+    def round_samples(self) -> int:
+        """Number of samples collected in the current round."""
+        return len(self._round)
+
+    # ------------------------------------------------------------------
+
+    def add_sample(self, rtt: float) -> None:
+        """Record one cell's feedback RTT."""
+        if rtt < 0:
+            raise ValueError("RTT must be non-negative, got %r" % rtt)
+        self.sample_count += 1
+        self._last_sample = rtt
+        if self._base_rtt is None or rtt < self._base_rtt:
+            self._base_rtt = rtt
+        if self._smoothed is None:
+            self._smoothed = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            # RFC 6298 bookkeeping (beta = 1/4 on the deviation).
+            assert self._rttvar is not None
+            self._rttvar += 0.25 * (abs(self._smoothed - rtt) - self._rttvar)
+            self._smoothed += self.ewma_gain * (rtt - self._smoothed)
+        self._round.add(rtt)
+
+    def current_rtt(self) -> float:
+        """Representative RTT of the round in progress.
+
+        Falls back to the last raw sample when the round is empty
+        (immediately after :meth:`finish_round`).
+        """
+        if len(self._round):
+            return self._round.value(self.aggregate)
+        if self._last_sample is None:
+            raise ValueError("no RTT samples recorded yet")
+        return self._last_sample
+
+    def finish_round(self) -> None:
+        """Close the current round and start collecting the next one."""
+        self._round.reset()
+
+    @property
+    def rtt_variance(self) -> Optional[float]:
+        """RFC 6298 RTTVAR (``None`` before any sample)."""
+        return self._rttvar
+
+    def retransmission_timeout(
+        self, minimum: float = 0.05, maximum: float = 10.0, fallback: float = 1.0
+    ) -> float:
+        """RFC 6298 retransmission timeout: ``SRTT + 4·RTTVAR``.
+
+        Clamped to [*minimum*, *maximum*]; *fallback* applies before any
+        sample exists (a fresh hop has no RTT history yet).
+        """
+        if self._smoothed is None or self._rttvar is None:
+            return max(minimum, min(fallback, maximum))
+        rto = self._smoothed + 4.0 * self._rttvar
+        return max(minimum, min(rto, maximum))
+
+    def queuing_delay(self) -> float:
+        """Current RTT minus base RTT: the estimated queueing component."""
+        if self._base_rtt is None:
+            return 0.0
+        return max(0.0, self.current_rtt() - self._base_rtt)
+
+    def vegas_diff(self, cwnd_cells: float, rtt: Optional[float] = None) -> float:
+        """The paper's queue-length estimate for window *cwnd_cells*.
+
+        ``diff = cwnd * currentRtt / baseRtt - cwnd`` — the number of
+        cells the window overshoots what the pipe can hold, i.e. the
+        cells sitting in the successor's queue.  *rtt* overrides the
+        round-aggregate RTT for per-sample checks.
+        """
+        if self._base_rtt is None or self._base_rtt <= 0:
+            return 0.0
+        current = self.current_rtt() if rtt is None else rtt
+        return cwnd_cells * current / self._base_rtt - cwnd_cells

@@ -1,0 +1,62 @@
+"""Unit tests for Jain's fairness index and the CDF flow metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import jain_fairness_index
+
+
+def test_equal_allocations_are_perfectly_fair():
+    assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_single_flow_is_fair_by_definition():
+    assert jain_fairness_index([3.0]) == pytest.approx(1.0)
+
+
+def test_starved_flow_lowers_index():
+    assert jain_fairness_index([10.0, 0.0]) == pytest.approx(0.5)
+
+
+def test_lower_bound_one_over_n():
+    n = 8
+    values = [1.0] + [0.0] * (n - 1)
+    assert jain_fairness_index(values) == pytest.approx(1.0 / n)
+
+
+def test_all_zero_is_fair():
+    assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        jain_fairness_index([])
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        jain_fairness_index([1.0, -1.0])
+
+
+#: Allocations: zero or a magnitude where squaring cannot underflow to
+#: subnormal floats (which would distort the index past 1 + 1e-12).
+allocation = st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=1e6))
+
+
+@given(st.lists(allocation, min_size=1, max_size=100))
+def test_property_index_in_unit_interval(values):
+    index = jain_fairness_index(values)
+    assert 1.0 / len(values) - 1e-12 <= index <= 1.0 + 1e-12
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=50),
+    st.floats(min_value=0.01, max_value=100),
+)
+def test_property_index_is_scale_invariant(values, factor):
+    scaled = [v * factor for v in values]
+    assert jain_fairness_index(scaled) == pytest.approx(
+        jain_fairness_index(values), rel=1e-9
+    )

@@ -1,0 +1,127 @@
+"""Unit tests for the optimal-window model (repro.analysis.optimal_window)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.optimal_window import (
+    HopLink,
+    backpropagated_window,
+    bottleneck_rate,
+    hop_loop_delay,
+    optimal_windows,
+    source_optimal_window,
+)
+from repro.transport.config import TransportConfig
+from repro.units import mbit_per_second, milliseconds
+
+
+CONFIG = TransportConfig()
+
+
+def links(rates_mbit, delay_ms=10.0):
+    return [HopLink(mbit_per_second(r), milliseconds(delay_ms)) for r in rates_mbit]
+
+
+def test_bottleneck_is_min_rate():
+    assert bottleneck_rate(links([16, 2, 8])).mbit_per_second == pytest.approx(2.0)
+
+
+def test_bottleneck_requires_links():
+    with pytest.raises(ValueError):
+        bottleneck_rate([])
+
+
+def test_hop_link_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        HopLink(mbit_per_second(8), -0.001)
+
+
+def test_loop_delay_components():
+    link = HopLink(mbit_per_second(8), milliseconds(10))  # 1e6 B/s
+    loop = hop_loop_delay(link, CONFIG)
+    expected = 512e-6 + 53e-6 + 2 * 0.010
+    assert loop == pytest.approx(expected)
+
+
+def test_optimal_window_formula():
+    """W* = bottleneck rate x the hop's unloaded loop delay."""
+    path = links([8.0, 8.0], delay_ms=10.0)
+    w = source_optimal_window(path, CONFIG)
+    loop = hop_loop_delay(path[0], CONFIG)
+    assert w.window_bytes == pytest.approx(1e6 * loop)
+    assert w.window_cells == -(-int(w.window_bytes) // 512) or w.window_cells
+
+
+def test_optimal_windows_one_per_hop():
+    path = links([16, 8, 4, 16])
+    per_hop = optimal_windows(path, CONFIG)
+    assert [w.hop_index for w in per_hop] == [0, 1, 2, 3]
+
+
+def test_distant_bottleneck_shrinks_all_windows():
+    """All hops' windows are bound by the distant bottleneck's rate."""
+    near = optimal_windows(links([2, 16, 16, 16]), CONFIG)
+    far = optimal_windows(links([16, 16, 16, 2]), CONFIG)
+    # Same bottleneck rate, same uniform delays: the source window is
+    # slightly larger in the `near` case (slower serialization on its
+    # own link lengthens the loop).
+    assert near[0].window_cells >= far[0].window_cells
+
+
+def test_window_floor_at_min_cwnd():
+    tiny = links([0.05], delay_ms=0.1)  # nearly zero BDP
+    w = source_optimal_window(tiny, CONFIG)
+    assert w.window_cells >= CONFIG.min_cwnd_cells
+
+
+def test_backpropagated_window_is_min_over_hops():
+    path = links([16, 8, 4, 16])
+    per_hop = optimal_windows(path, CONFIG)
+    assert backpropagated_window(path, CONFIG) == min(
+        w.window_cells for w in per_hop
+    )
+
+
+def test_backprop_underestimates_with_heterogeneous_delays():
+    """The paper's safety caveat: if the bottleneck hop has a much
+    shorter loop than the source's, backpropagation under-estimates."""
+    path = [
+        HopLink(mbit_per_second(16), milliseconds(40)),  # long source loop
+        HopLink(mbit_per_second(4), milliseconds(2)),  # short bottleneck loop
+    ]
+    source = source_optimal_window(path, CONFIG)
+    propagated = backpropagated_window(path, CONFIG)
+    assert propagated < source.window_cells
+
+
+def test_uniform_path_backprop_matches_source():
+    path = links([8, 8, 8, 8])
+    assert backpropagated_window(path, CONFIG) == source_optimal_window(
+        path, CONFIG
+    ).window_cells
+
+
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=500), min_size=1, max_size=6),
+    st.floats(min_value=0.1, max_value=100),
+)
+def test_property_windows_scale_with_bottleneck(rates, delay_ms):
+    """Doubling every rate at least doubles no window downward: windows
+    are monotone in the bottleneck rate."""
+    slow = links(rates, delay_ms)
+    fast = links([r * 2 for r in rates], delay_ms)
+    slow_w = optimal_windows(slow, CONFIG)
+    fast_w = optimal_windows(fast, CONFIG)
+    for s, f in zip(slow_w, fast_w):
+        assert f.window_bytes >= s.window_bytes * 0.99  # tx-time shrink aside
+
+
+@given(st.lists(st.floats(min_value=0.5, max_value=500), min_size=1, max_size=6))
+def test_property_backprop_never_exceeds_source_window(rates):
+    path = links(rates)
+    assert (
+        backpropagated_window(path, CONFIG)
+        <= source_optimal_window(path, CONFIG).window_cells
+    )

@@ -1,0 +1,121 @@
+"""Unit and property tests for CDFs and statistics (repro.analysis.stats)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    EmpiricalCdf,
+    cdf_horizontal_gap,
+    stochastic_dominance_fraction,
+    summarize,
+)
+
+
+def test_cdf_requires_samples():
+    with pytest.raises(ValueError):
+        EmpiricalCdf([])
+
+
+def test_cdf_evaluation():
+    cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+    assert cdf(0.5) == 0.0
+    assert cdf(1.0) == 0.25
+    assert cdf(2.5) == 0.5
+    assert cdf(4.0) == 1.0
+    assert cdf(100.0) == 1.0
+
+
+def test_cdf_quantiles():
+    cdf = EmpiricalCdf([10.0, 20.0, 30.0, 40.0])
+    assert cdf.quantile(0.25) == 10.0
+    assert cdf.quantile(0.5) == 20.0
+    assert cdf.quantile(1.0) == 40.0
+    assert cdf.median == 20.0
+    assert cdf.min == 10.0
+    assert cdf.max == 40.0
+
+
+def test_cdf_quantile_bounds():
+    cdf = EmpiricalCdf([1.0])
+    with pytest.raises(ValueError):
+        cdf.quantile(0.0)
+    with pytest.raises(ValueError):
+        cdf.quantile(1.1)
+
+
+def test_cdf_points_staircase():
+    cdf = EmpiricalCdf([3.0, 1.0, 2.0])
+    assert cdf.points() == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.count == 5
+    assert s.mean == 3.0
+    assert s.median == 3.0
+    assert s.minimum == 1.0
+    assert s.maximum == 5.0
+    assert s.p10 == 1.0
+    assert s.p90 == 5.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_horizontal_gap_measures_shift():
+    """A constant 0.5 shift yields a 0.5 gap at every quantile."""
+    fast = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+    slow = EmpiricalCdf([1.5, 2.5, 3.5, 4.5])
+    assert cdf_horizontal_gap(fast, slow) == pytest.approx(0.5)
+
+
+def test_horizontal_gap_negative_when_better_is_worse():
+    fast = EmpiricalCdf([1.0, 2.0])
+    slow = EmpiricalCdf([0.5, 1.5])
+    assert cdf_horizontal_gap(fast, slow) == pytest.approx(-0.5)
+
+
+def test_dominance_full_and_partial():
+    fast = EmpiricalCdf([1.0, 2.0, 3.0])
+    slow = EmpiricalCdf([1.1, 2.1, 3.1])
+    assert stochastic_dominance_fraction(fast, slow) == 1.0
+    assert stochastic_dominance_fraction(slow, fast) == 0.0
+
+
+def test_dominance_custom_quantiles():
+    a = EmpiricalCdf([1.0, 5.0])
+    b = EmpiricalCdf([2.0, 4.0])
+    fraction = stochastic_dominance_fraction(a, b, quantiles=[0.25, 0.95])
+    assert fraction == 0.5
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_cdf_monotone_nondecreasing(samples):
+    cdf = EmpiricalCdf(samples)
+    xs = sorted(set(samples))
+    values = [cdf(x) for x in xs]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] == 1.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_quantile_inverts_cdf(samples):
+    cdf = EmpiricalCdf(samples)
+    for q in (0.1, 0.5, 0.9, 1.0):
+        x = cdf.quantile(q)
+        assert cdf(x) >= q - 1e-12
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=50),
+    st.floats(min_value=0.01, max_value=10),
+)
+def test_property_gap_detects_uniform_shift(samples, shift):
+    fast = EmpiricalCdf(samples)
+    slow = EmpiricalCdf([s + shift for s in samples])
+    assert cdf_horizontal_gap(fast, slow) == pytest.approx(shift, rel=1e-9)
+    assert stochastic_dominance_fraction(fast, slow) == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])
+
+
+def test_trace_command(capsys):
+    code = main(["trace", "--distance", "1", "--duration-ms", "400"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "source cwnd [KB]" in out
+    assert "optimal" in out
+    assert "peak=" in out
+
+
+def test_trace_command_distance_3(capsys):
+    code = main(["trace", "--distance", "3"])
+    assert code == 0
+    assert "optimal" in capsys.readouterr().out
+
+
+def test_trace_with_custom_gamma(capsys):
+    code = main(["trace", "--gamma", "8.0"])
+    assert code == 0
+
+
+def test_trace_with_baseline_controller(capsys):
+    code = main(["trace", "--controller", "without"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exit=- " in out  # the Vegas-only baseline never "exits"
+
+
+def test_cdf_command_small(capsys):
+    code = main(
+        ["cdf", "--circuits", "6", "--payload-kib", "150", "--relays", "10"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "with CircuitStart" in out
+    assert "median improvement" in out
+    assert "fairness" in out
+
+
+def test_dynamic_command(capsys):
+    code = main(["dynamic"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "adapt [ms]" in out
+    assert "dynamic" in out
+
+
+def test_friendliness_command(capsys):
+    code = main(["friendliness"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "jumpstart" in out
+    assert "added p95" in out
+
+
+def test_optimal_command(capsys):
+    code = main(["optimal", "--link", "50:12", "--link", "8:12",
+                 "--link", "50:12", "--link", "50:12"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Optimal windows" in out
+    assert "bottleneck 8" in out
+
+
+def test_optimal_command_bad_link(capsys):
+    code = main(["optimal", "--link", "fast"])
+    assert code == 2
+    assert "bad --link" in capsys.readouterr().err
+
+
+def test_ablations_command(capsys):
+    code = main(["ablations"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for marker in ("A1", "A2", "A3", "A4"):
+        assert marker in out

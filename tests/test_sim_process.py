@@ -1,0 +1,151 @@
+"""Unit tests for generator-based processes (repro.sim.process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.sim.process import Process, Waiter, spawn
+from repro.sim.simulator import Simulator
+
+
+def test_process_sleeps_for_yielded_delay(sim):
+    stamps = []
+
+    def worker():
+        stamps.append(sim.now)
+        yield 1.5
+        stamps.append(sim.now)
+        yield 0.5
+        stamps.append(sim.now)
+
+    spawn(sim, worker())
+    sim.run()
+    assert stamps == [0.0, 1.5, 2.0]
+
+
+def test_spawn_defers_first_step(sim):
+    """Spawning must not run generator code synchronously."""
+    ran = []
+
+    def worker():
+        ran.append(True)
+        yield 0
+
+    spawn(sim, worker())
+    assert ran == []
+    sim.run()
+    assert ran == [True]
+
+
+def test_process_result_captured(sim):
+    def worker():
+        yield 1.0
+        return 42
+
+    p = spawn(sim, worker())
+    sim.run()
+    assert not p.alive
+    assert p.result == 42
+
+
+def test_done_waiter_triggers_with_result(sim):
+    def worker():
+        yield 1.0
+        return "done"
+
+    p = spawn(sim, worker())
+    sim.run()
+    assert p.done.triggered
+    assert p.done.value == "done"
+
+
+def test_process_waits_on_waiter(sim):
+    gate = Waiter(sim)
+    stamps = []
+
+    def worker():
+        value = yield gate
+        stamps.append((sim.now, value))
+
+    spawn(sim, worker())
+    sim.schedule(3.0, gate.trigger, "opened")
+    sim.run()
+    assert stamps == [(3.0, "opened")]
+
+
+def test_pretriggered_waiter_resumes_immediately(sim):
+    gate = Waiter(sim)
+    gate.trigger("early")
+    stamps = []
+
+    def worker():
+        value = yield gate
+        stamps.append((sim.now, value))
+
+    spawn(sim, worker())
+    sim.run()
+    assert stamps == [(0.0, "early")]
+
+
+def test_waiter_double_trigger_raises(sim):
+    gate = Waiter(sim)
+    gate.trigger()
+    with pytest.raises(SimulationError):
+        gate.trigger()
+
+
+def test_multiple_processes_share_waiter(sim):
+    gate = Waiter(sim)
+    woken = []
+
+    def worker(name):
+        yield gate
+        woken.append(name)
+
+    spawn(sim, worker("a"))
+    spawn(sim, worker("b"))
+    sim.schedule(1.0, gate.trigger)
+    sim.run()
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_negative_delay_fails_process(sim):
+    def worker():
+        yield -1.0
+
+    spawn(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bad_yield_type_fails_process(sim):
+    def worker():
+        yield "nonsense"
+
+    spawn(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_name_from_generator(sim):
+    def my_worker():
+        yield 0
+
+    p = spawn(sim, my_worker())
+    assert p.name == "my_worker"
+
+
+def test_processes_interleave(sim):
+    order = []
+
+    def worker(name, delay):
+        yield delay
+        order.append(name)
+        yield delay
+        order.append(name)
+
+    spawn(sim, worker("fast", 1.0))
+    spawn(sim, worker("slow", 1.5))
+    sim.run()
+    assert order == ["fast", "slow", "fast", "slow"]

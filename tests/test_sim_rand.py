@@ -1,0 +1,102 @@
+"""Unit tests for seeded random streams (repro.sim.rand)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rand import RandomStreams, derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "topology") == derive_seed(42, "topology")
+
+
+def test_derive_seed_depends_on_name():
+    assert derive_seed(42, "topology") != derive_seed(42, "paths")
+
+
+def test_derive_seed_depends_on_master():
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_streams_are_memoized():
+    streams = RandomStreams(7)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_reproducible_across_instances():
+    a = RandomStreams(7).stream("net")
+    b = RandomStreams(7).stream("net")
+    assert [a.random() for __ in range(10)] == [b.random() for __ in range(10)]
+
+
+def test_streams_independent_of_each_other():
+    """Draws on one stream never perturb another stream."""
+    lonely = RandomStreams(7)
+    shared = RandomStreams(7)
+    __ = [shared.stream("noise").random() for __ in range(100)]
+    expected = [lonely.stream("signal").random() for __ in range(5)]
+    got = [shared.stream("signal").random() for __ in range(5)]
+    assert got == expected
+
+
+def test_reseed_resets_streams():
+    streams = RandomStreams(1)
+    first = streams.stream("x").random()
+    streams.reseed(1)
+    assert streams.stream("x").random() == first
+
+
+def test_reseed_changes_draws():
+    streams = RandomStreams(1)
+    first = streams.stream("x").random()
+    streams.reseed(2)
+    assert streams.stream("x").random() != first
+
+
+def test_uniform_within_bounds():
+    streams = RandomStreams(3)
+    for __ in range(50):
+        value = streams.uniform("u", 2.0, 5.0)
+        assert 2.0 <= value <= 5.0
+
+
+def test_choice_picks_from_options():
+    streams = RandomStreams(3)
+    options = ["a", "b", "c"]
+    for __ in range(20):
+        assert streams.choice("c", options) in options
+
+
+def test_weighted_choice_respects_zero_weight():
+    streams = RandomStreams(3)
+    for __ in range(50):
+        assert streams.weighted_choice("w", ["a", "b"], [1.0, 0.0]) == "a"
+
+
+def test_weighted_choice_length_mismatch():
+    streams = RandomStreams(3)
+    with pytest.raises(ValueError):
+        streams.weighted_choice("w", ["a"], [1.0, 2.0])
+
+
+def test_sample_distinct_returns_unique():
+    streams = RandomStreams(3)
+    sample = streams.sample_distinct("s", list(range(10)), 5)
+    assert len(sample) == 5
+    assert len(set(sample)) == 5
+
+
+def test_shuffled_is_permutation():
+    streams = RandomStreams(3)
+    items = list(range(20))
+    shuffled = streams.shuffled("sh", items)
+    assert sorted(shuffled) == items
+    assert items == list(range(20))  # input untouched
+
+
+def test_lognormal_iterator_is_positive():
+    streams = RandomStreams(3)
+    it = streams.iter_lognormal("ln", mu=0.0, sigma=1.0)
+    for __ in range(20):
+        assert next(it) > 0

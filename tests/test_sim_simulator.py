@@ -1,0 +1,185 @@
+"""Unit tests for the simulator core (repro.sim.simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ClockError, SchedulingError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_negative_start_time_rejected():
+    with pytest.raises(ClockError):
+        Simulator(start_time=-1.0)
+
+
+def test_schedule_and_run_advances_clock(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert sim.now == 1.5
+    assert fired == ["a"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, 2)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(3.0, order.append, 3)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_simultaneous_events_run_fifo(sim):
+    order = []
+    for i in range(5):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_call_soon_runs_at_current_time(sim):
+    stamps = []
+    sim.schedule(1.0, lambda: sim.call_soon(stamps.append, sim.now))
+    sim.run()
+    assert stamps == [1.0]
+
+
+def test_run_until_stops_at_boundary(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run_until(2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_includes_boundary_events(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "boundary")
+    sim.run_until(2.0)
+    assert fired == ["boundary"]
+
+
+def test_run_until_sets_clock_even_when_queue_empty(sim):
+    sim.run_until(3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_backwards_rejected(sim):
+    sim.run_until(2.0)
+    with pytest.raises(ClockError):
+        sim.run_until(1.0)
+
+
+def test_run_for_is_relative(sim):
+    sim.run_until(2.0)
+    sim.run_for(1.5)
+    assert sim.now == 3.5
+
+
+def test_run_for_negative_rejected(sim):
+    with pytest.raises(ClockError):
+        sim.run_for(-1.0)
+
+
+def test_step_executes_single_event(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_stop_halts_loop(sim):
+    fired = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, fired.append, "never")
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 1
+
+
+def test_events_can_schedule_more_events(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 5.0
+
+
+def test_cancel_via_simulator(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert sim.cancel(handle)
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_cancel_twice_reports_false(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    assert sim.cancel(handle)
+    assert not sim.cancel(handle)
+
+
+def test_max_events_bounds_execution(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_executed_counter(sim):
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_loop_not_reentrant(sim):
+    def naughty():
+        sim.run()
+
+    sim.schedule(1.0, naughty)
+    with pytest.raises(SchedulingError):
+        sim.run()
+
+
+def test_running_flag(sim):
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(sim.running))
+    assert not sim.running
+    sim.run()
+    assert observed == [True]
+    assert not sim.running

@@ -1,0 +1,103 @@
+"""Unit tests for circuit establishment (repro.tor.builder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import LinkSpec, build_chain
+from repro.tor.builder import CircuitBuilder
+from repro.tor.circuit import CircuitSpec
+from repro.tor.hosts import TorHost
+from repro.transport.config import CELL_PAYLOAD, TransportConfig
+from repro.units import mbit_per_second, milliseconds
+
+SPEC = LinkSpec(mbit_per_second(16), milliseconds(5))
+
+
+def make_builder(sim, names=("src", "r1", "r2", "dst")):
+    topo = build_chain(sim, list(names), [SPEC] * (len(names) - 1))
+    builder = CircuitBuilder(sim, topo, TransportConfig())
+    spec = CircuitSpec(1, names[0], list(names[1:-1]), names[-1])
+    return topo, builder, spec
+
+
+def test_establish_triggers_waiter(sim):
+    __, builder, spec = make_builder(sim)
+    handle = builder.establish(spec)
+    assert not handle.is_established
+    sim.run()
+    assert handle.is_established
+
+
+def test_establish_takes_one_circuit_round_trip(sim):
+    __, builder, spec = make_builder(sim)
+    handle = builder.establish(spec)
+    sim.run()
+    # 3 links forward + 3 back, 5 ms propagation each, plus serialization.
+    assert handle.setup_time > 6 * 0.005
+    assert handle.setup_time < 6 * 0.005 + 0.01
+
+
+def test_establish_registers_relay_states(sim):
+    topo, builder, spec = make_builder(sim)
+    builder.establish(spec)
+    sim.run()
+    r1 = TorHost.install(sim, topo.node("r1"))
+    r2 = TorHost.install(sim, topo.node("r2"))
+    assert r1.circuits[1].prev_hop == "src"
+    assert r1.circuits[1].next_hop == "r2"
+    assert r2.circuits[1].prev_hop == "r1"
+    assert r2.circuits[1].next_hop == "dst"
+    assert r1.circuits[1].sender is not None
+
+
+def test_establish_registers_sink_state_without_app(sim):
+    topo, builder, spec = make_builder(sim)
+    builder.establish(spec)
+    sim.run()
+    dst = TorHost.install(sim, topo.node("dst"))
+    state = dst.circuits[1]
+    assert state.is_sink
+    assert state.sink is None  # the app attaches when data starts
+
+
+def test_setup_time_before_establishment_raises(sim):
+    __, builder, spec = make_builder(sim)
+    handle = builder.establish(spec)
+    with pytest.raises(RuntimeError):
+        __ = handle.setup_time
+
+
+def test_establish_then_start_transfers_payload(sim):
+    __, builder, spec = make_builder(sim)
+    payload = CELL_PAYLOAD * 30
+    flow = builder.establish_then_start(spec, payload)
+    sim.run()
+    assert flow.completed.triggered
+    assert flow.sink.received_bytes == payload
+
+
+def test_establish_then_start_ttlb_excludes_setup(sim):
+    __, builder, spec = make_builder(sim)
+    flow = builder.establish_then_start(spec, CELL_PAYLOAD * 10)
+    sim.run()
+    assert flow.data_started_at > 0  # after the CREATE round trip
+    assert flow.time_to_last_byte < flow.completed.value
+
+
+def test_establish_then_start_ttlb_before_done_raises(sim):
+    __, builder, spec = make_builder(sim)
+    flow = builder.establish_then_start(spec, CELL_PAYLOAD * 10)
+    with pytest.raises(RuntimeError):
+        __ = flow.time_to_last_byte
+
+
+def test_established_flow_uses_relay_controllers_of_kind(sim):
+    topo, builder, spec = make_builder(sim)
+    builder.controller_kind = "fixed"
+    builder.controller_kwargs = {"window_cells": 7}
+    flow = builder.establish_then_start(spec, CELL_PAYLOAD * 5)
+    sim.run()
+    r1 = TorHost.install(sim, topo.node("r1"))
+    assert r1.circuits[1].sender.controller.cwnd_cells == 7
+    assert flow.completed.triggered

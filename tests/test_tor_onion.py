@@ -1,0 +1,87 @@
+"""Unit tests for structural onion routing (repro.tor.onion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tor.onion import OnionError, OnionLayer, OnionPacket, peel, wrap_path
+
+
+def test_wrap_path_builds_layers_in_order():
+    onion = wrap_path(["guard", "middle", "exit"])
+    assert onion.depth == 3
+    assert onion.outer_layer == OnionLayer("guard", "middle")
+    assert onion.route() == ["guard", "middle", "exit"]
+
+
+def test_innermost_layer_has_no_next_hop():
+    onion = wrap_path(["a", "b"])
+    __, rest = onion.peel("a")
+    layer, remainder = rest.peel("b")
+    assert layer.next_hop is None
+    assert remainder is None
+
+
+def test_peel_reveals_only_next_hop():
+    onion = wrap_path(["g", "m", "e"])
+    layer, rest = onion.peel("g")
+    assert layer.next_hop == "m"
+    # The peeled remainder no longer mentions the peeler.
+    assert "g" not in rest.route()
+
+
+def test_wrong_relay_cannot_peel():
+    onion = wrap_path(["g", "m", "e"])
+    with pytest.raises(OnionError):
+        onion.peel("m")
+
+
+def test_each_relay_sees_only_neighbors():
+    """The onion-routing privacy property, structurally."""
+    names = ["r1", "r2", "r3", "r4"]
+    onion = wrap_path(names)
+    knowledge = {}
+    current = onion
+    prev = "client"
+    for name in names:
+        layer, current = current.peel(name)
+        knowledge[name] = (prev, layer.next_hop)
+        prev = name
+    assert knowledge == {
+        "r1": ("client", "r2"),
+        "r2": ("r1", "r3"),
+        "r3": ("r2", "r4"),
+        "r4": ("r3", None),
+    }
+
+
+def test_empty_path_rejected():
+    with pytest.raises(OnionError):
+        wrap_path([])
+
+
+def test_empty_layer_list_rejected():
+    with pytest.raises(OnionError):
+        OnionPacket([])
+
+
+def test_module_level_peel_helper():
+    onion = wrap_path(["a", "b"])
+    layer, rest = peel(onion, "a")
+    assert layer.relay_name == "a"
+    assert rest.depth == 1
+
+
+def test_onion_is_immutable_across_peels():
+    onion = wrap_path(["a", "b", "c"])
+    onion.peel("a")
+    # Peeling returned a new packet; the original is unchanged.
+    assert onion.depth == 3
+    assert onion.outer_layer.relay_name == "a"
+
+
+def test_single_hop_onion():
+    onion = wrap_path(["only"])
+    layer, rest = onion.peel("only")
+    assert layer.next_hop is None
+    assert rest is None

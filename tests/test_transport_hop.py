@@ -1,0 +1,154 @@
+"""Unit tests for the hop sender (repro.transport.hop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.circuitstart import CircuitStartController
+from repro.sim.simulator import Simulator
+from repro.transport.config import TransportConfig
+from repro.transport.hop import HopSender
+
+
+class StubCell:
+    """Minimal object satisfying the hop sender's cell contract."""
+
+    def __init__(self):
+        self.size = 512
+        self.hop_seq = -1
+
+
+def make_sender(sim, config=None, controller=None):
+    config = config or TransportConfig()
+    controller = controller or CircuitStartController(config)
+    wire = []
+
+    def transmit(cell, token):
+        wire.append((sim.now, cell, token))
+
+    sender = HopSender(sim, config, controller, transmit, label="test")
+    return sender, controller, wire
+
+
+def test_initial_state(sim):
+    sender, __, __w = make_sender(sim)
+    assert sender.idle
+    assert sender.buffered_cells == 0
+    assert sender.inflight_cells == 0
+
+
+def test_enqueue_sends_up_to_window(sim):
+    sender, controller, wire = make_sender(sim)
+    for __ in range(5):
+        sender.enqueue(StubCell())
+    assert len(wire) == 2  # initial window
+    assert sender.buffered_cells == 3
+    assert sender.inflight_cells == 2
+    assert not controller.can_send()
+
+
+def test_hop_seq_assigned_sequentially(sim):
+    sender, __, wire = make_sender(sim)
+    for __i in range(2):
+        sender.enqueue(StubCell())
+    assert [cell.hop_seq for __, cell, __t in wire] == [0, 1]
+
+
+def test_token_rides_to_transmit(sim):
+    sender, __, wire = make_sender(sim)
+    sender.enqueue(StubCell(), token="upstream-7")
+    assert wire[0][2] == "upstream-7"
+
+
+def test_feedback_opens_window(sim):
+    sender, __, wire = make_sender(sim)
+    for __i in range(5):
+        sender.enqueue(StubCell())
+    sim.run_until(0.1)
+    sender.on_feedback(0)
+    sender.on_feedback(1)
+    # Window doubled to 4 after the full round; all remaining cells go out.
+    assert len(wire) == 5
+    assert sender.buffered_cells == 0
+
+
+def test_feedback_measures_rtt(sim):
+    config = TransportConfig()
+    controller = CircuitStartController(config)
+    sender, __, wire = make_sender(sim, config, controller)
+    sender.enqueue(StubCell())
+    sim.run_until(0.25)
+    sender.on_feedback(0)
+    assert controller.rtt.last_sample == pytest.approx(0.25)
+
+
+def test_unknown_feedback_counted_not_crashing(sim):
+    sender, __, __w = make_sender(sim)
+    sender.enqueue(StubCell())
+    sender.on_feedback(99)
+    assert sender.duplicate_feedback == 1
+
+
+def test_repeated_feedback_counted(sim):
+    sender, __, __w = make_sender(sim)
+    sender.enqueue(StubCell())
+    sender.on_feedback(0)
+    sender.on_feedback(0)
+    assert sender.duplicate_feedback == 1
+    assert sender.feedback_received == 1
+
+
+def test_on_drained_fires_when_idle(sim):
+    sender, __, __w = make_sender(sim)
+    drained = []
+    sender.on_drained = lambda: drained.append(sim.now)
+    sender.enqueue(StubCell())
+    sim.run_until(0.1)
+    sender.on_feedback(0)
+    assert drained == [0.1]
+
+
+def test_on_drained_not_fired_while_buffered(sim):
+    sender, __, __w = make_sender(sim)
+    drained = []
+    sender.on_drained = lambda: drained.append(True)
+    for __i in range(4):
+        sender.enqueue(StubCell())
+    sender.on_feedback(0)
+    assert drained == []
+
+
+def test_counters(sim):
+    sender, __, __w = make_sender(sim)
+    for __i in range(3):
+        sender.enqueue(StubCell())
+    sender.on_feedback(0)
+    assert sender.cells_sent == 3  # 2 initial + 1 released by feedback
+    assert sender.feedback_received == 1
+    assert sender.max_buffer_depth >= 1
+
+
+def test_cwnd_cells_passthrough(sim):
+    sender, controller, __w = make_sender(sim)
+    assert sender.cwnd_cells == controller.cwnd_cells
+
+
+def test_window_never_violated(sim):
+    """inflight never exceeds the controller's window at send time."""
+    config = TransportConfig()
+    controller = CircuitStartController(config)
+    violations = []
+    wire = []
+
+    def transmit(cell, token):
+        if controller.outstanding > controller.cwnd_cells:
+            violations.append(controller.outstanding)
+        wire.append(cell)
+
+    sender = HopSender(sim, config, controller, transmit)
+    for __ in range(100):
+        sender.enqueue(StubCell())
+    for seq in range(40):
+        sim.run_until(sim.now + 0.01)
+        sender.on_feedback(seq)
+    assert violations == []

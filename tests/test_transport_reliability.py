@@ -1,0 +1,204 @@
+"""Tests for per-hop loss recovery (go-back-N retransmission).
+
+Loss is injected deterministically with
+:class:`~repro.net.queues.ScriptedLossQueue` on specific interfaces of
+a chain; the reliable transport must deliver the exact payload anyway,
+in order and without duplicates at the application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.queues import ScriptedLossQueue
+from repro.sim.simulator import Simulator
+from repro.transport.config import CELL_PAYLOAD, TransportConfig
+from repro.transport.hop import HopBrokenError, HopSender
+from repro.transport.rtt import RttEstimator
+from repro.core.circuitstart import CircuitStartController
+
+from conftest import make_chain_flow
+
+
+RELIABLE = TransportConfig(reliable=True, rto_min=0.05, rto_initial=0.3)
+
+
+def lossy_flow(sim, node_name, peer_name, drop_indices, payload_cells=40,
+               config=RELIABLE):
+    """A chain flow with scripted losses on one interface's queue."""
+    flow, topology, specs = make_chain_flow(
+        sim, payload_bytes=payload_cells * CELL_PAYLOAD, config=config
+    )
+    iface = topology._interface_between(node_name, peer_name)
+    iface.queue = ScriptedLossQueue(drop_indices)
+    return flow, topology
+
+
+# ----------------------------------------------------------------------
+# RTO estimation
+# ----------------------------------------------------------------------
+
+
+def test_rto_fallback_before_samples():
+    est = RttEstimator()
+    assert est.retransmission_timeout(fallback=1.0) == 1.0
+
+
+def test_rto_tracks_srtt_plus_variance():
+    est = RttEstimator()
+    est.add_sample(0.1)
+    # First sample: srtt = 0.1, rttvar = 0.05 -> rto = 0.3.
+    assert est.retransmission_timeout(minimum=0.0) == pytest.approx(0.3)
+
+
+def test_rto_clamps():
+    est = RttEstimator()
+    est.add_sample(0.001)
+    assert est.retransmission_timeout(minimum=0.05) == 0.05
+    est2 = RttEstimator()
+    est2.add_sample(100.0)
+    assert est2.retransmission_timeout(maximum=10.0) == 10.0
+
+
+def test_rtt_variance_updates():
+    est = RttEstimator()
+    est.add_sample(0.1)
+    est.add_sample(0.2)
+    assert est.rtt_variance is not None
+    assert est.rtt_variance > 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end recovery
+# ----------------------------------------------------------------------
+
+
+def test_data_cell_loss_recovered(sim):
+    """Dropping a data cell on the first link stalls, times out, and
+    the retransmission completes the transfer exactly."""
+    flow, topo = lossy_flow(sim, "source", "relay1", drop_indices={5})
+    sim.run()
+    assert flow.done
+    assert flow.sink.received_bytes == flow.payload_bytes
+    assert flow.hop_senders[0].retransmissions >= 1
+    assert flow.hop_senders[0].timeouts >= 1
+
+
+def test_feedback_loss_recovered(sim):
+    """Dropping a feedback cell (reverse direction) is healed by the
+    retransmit + duplicate re-ack path."""
+    flow, topo = lossy_flow(sim, "relay1", "source", drop_indices={3})
+    sim.run()
+    assert flow.done
+    assert flow.sink.received_bytes == flow.payload_bytes
+
+
+def test_burst_loss_recovered(sim):
+    flow, topo = lossy_flow(
+        sim, "relay2", "relay3", drop_indices={4, 5, 6, 7}, payload_cells=60
+    )
+    sim.run()
+    assert flow.done
+    assert flow.sink.received_bytes == flow.payload_bytes
+
+
+def test_no_duplicate_delivery_at_sink(sim):
+    """Retransmissions never deliver a byte twice to the application."""
+    offsets = []
+    flow, topo = lossy_flow(sim, "source", "relay1", drop_indices={2, 9})
+    original = flow.sink.on_cell
+
+    def spy(cell):
+        offsets.append(cell.offset)
+        original(cell)
+
+    flow.sink.on_cell = spy
+    sim.run()
+    assert flow.done
+    assert len(offsets) == len(set(offsets))
+    assert offsets == sorted(offsets)
+
+
+def test_midstream_feedback_loss_healed_by_cumulative_ack(sim):
+    """A lost mid-stream feedback is covered by the next one (the
+    receiver is in-order, so acks are cumulative): no retransmission."""
+    flow, topo = lossy_flow(sim, "relay1", "source", drop_indices={2})
+    sim.run()
+    assert flow.done
+    assert flow.hop_senders[0].retransmissions == 0
+
+
+def test_dedup_counters_increment(sim):
+    """Losing the *last* feedback leaves nothing to cover it: the
+    sender times out, retransmits, and the relay counts the duplicate."""
+    flow, topo = lossy_flow(
+        sim, "relay1", "source", drop_indices={39}, payload_cells=40
+    )
+    sim.run()
+    assert flow.done
+    relay_state = flow.hosts[1].circuits[flow.spec.circuit_id]
+    assert relay_state.duplicate_cells >= 1
+    assert flow.hop_senders[0].retransmissions >= 1
+
+
+def test_lossless_run_never_retransmits(sim):
+    """With no loss, the reliability machinery stays silent."""
+    flow, __ = lossy_flow(sim, "source", "relay1", drop_indices=set())
+    sim.run()
+    assert flow.done
+    for sender in flow.hop_senders:
+        assert sender.retransmissions == 0
+        assert sender.timeouts == 0
+
+
+def test_unreliable_mode_stalls_on_loss(sim):
+    """Without reliability the transfer cannot complete after a loss —
+    the invariant that motivates the feature."""
+    config = TransportConfig(reliable=False)
+    flow, __ = lossy_flow(
+        sim, "source", "relay1", drop_indices={5}, config=config
+    )
+    sim.run_until(10.0)
+    assert not flow.done
+
+
+def test_hop_gives_up_after_max_rounds(sim):
+    """A black-holed hop raises instead of retrying forever."""
+    config = TransportConfig(
+        reliable=True, rto_min=0.01, rto_initial=0.05,
+        max_retransmission_rounds=3,
+    )
+    # Drop everything on the first link, forever.
+    flow, topo = lossy_flow(
+        sim, "source", "relay1", drop_indices=range(10_000), config=config
+    )
+    with pytest.raises(HopBrokenError):
+        sim.run_until(60.0)
+
+
+def test_karn_rule_skips_retransmitted_samples(sim):
+    """RTT samples from retransmitted cells are excluded."""
+    flow, __ = lossy_flow(sim, "source", "relay1", drop_indices={1})
+    controller = flow.source_controller
+    sim.run()
+    assert flow.done
+    # Fewer samples than acknowledgments: the retransmitted cell's ack
+    # carried no sample.
+    assert controller.rtt.sample_count < controller.total_acked
+
+
+def test_reliable_mode_matches_lossless_performance(sim):
+    """Reliability machinery must not distort the lossless dynamics."""
+    fresh = Simulator()
+    flow_plain, __, __s = make_chain_flow(
+        fresh, payload_bytes=50 * CELL_PAYLOAD, config=TransportConfig()
+    )
+    fresh.run()
+    sim2 = Simulator()
+    flow_rel, __, __s2 = make_chain_flow(
+        sim2, payload_bytes=50 * CELL_PAYLOAD, config=RELIABLE
+    )
+    sim2.run()
+    assert flow_rel.completed.value == pytest.approx(
+        flow_plain.completed.value, rel=1e-9
+    )
