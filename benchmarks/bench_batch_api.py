@@ -1,0 +1,65 @@
+"""Unified-API benchmarks: registry dispatch, serialization, batch sweeps.
+
+Times the new experiment API against the direct call path and captures
+the merged sweep artifact:
+
+* registry dispatch adds no measurable overhead over the legacy
+  ``run_trace_experiment`` entry point (same code path);
+* a six-job distance×gamma sweep through ``run_batch`` produces the
+  same structured output serially and with two workers;
+* the merged JSON artifact lands in ``benchmarks/results/``.
+
+Run:  pytest benchmarks/bench_batch_api.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import BatchJob, TraceConfig, get_experiment, run_batch, seconds
+
+
+def _sweep_jobs():
+    base = TraceConfig(duration=seconds(0.4))
+    return [
+        BatchJob(
+            "trace",
+            TraceConfig(
+                bottleneck_distance=distance,
+                duration=base.duration,
+                transport=base.transport.with_(gamma=gamma),
+            ),
+            label="d%d-g%g" % (distance, gamma),
+        )
+        for distance in (1, 2, 3)
+        for gamma in (2.0, 4.0)
+    ]
+
+
+def test_registry_dispatch(benchmark):
+    config = TraceConfig(duration=seconds(0.4))
+    result = benchmark.pedantic(
+        lambda: get_experiment("trace").run(config), rounds=1, iterations=1
+    )
+    assert result.final_cwnd_cells > 0
+
+
+def test_result_serialization_round_trip(benchmark):
+    result = get_experiment("trace").run(TraceConfig(duration=seconds(0.4)))
+
+    def round_trip():
+        return type(result).from_dict(json.loads(json.dumps(result.to_dict())))
+
+    restored = benchmark(round_trip)
+    assert restored == result
+
+
+def test_batch_sweep_serial_vs_parallel(benchmark, save_artifact):
+    serial = benchmark.pedantic(
+        lambda: run_batch(_sweep_jobs(), workers=1), rounds=1, iterations=1
+    )
+    parallel = run_batch(_sweep_jobs(), workers=2)
+    serial_blob = json.dumps(serial.to_dict(), sort_keys=True, indent=2)
+    assert serial_blob == json.dumps(parallel.to_dict(), sort_keys=True,
+                                     indent=2)
+    save_artifact("batch_sweep_trace.json", serial_blob)

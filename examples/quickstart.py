@@ -1,83 +1,61 @@
 #!/usr/bin/env python3
-"""Quickstart: one circuit, one download, one cwnd trace.
+"""Quickstart: the unified experiment API in one page.
 
-Builds a four-link chain (source, three relays, sink) with an 8 Mbit/s
-bottleneck one hop from the source, transfers 1 MiB with CircuitStart
-at every hop, and prints:
+Runs the paper's Figure-1a scenario through the experiment registry —
+``get_experiment("trace").run(TraceConfig(...))`` — and prints:
 
 * the source's congestion-window trace (the paper's Figure-1a panel),
 * the model's optimal window (the dashed line), and
-* the transfer's time to last byte.
+* proof that the result serializes: a JSON round-trip via
+  ``result.to_dict()`` / ``TraceResult.from_dict()``.
 
-Run:  python examples/quickstart.py
+Every experiment speaks this API (``repro list`` enumerates them), so
+the same four lines run the CDF comparison, the ablations, or a batch
+sweep (see ``examples/batch_sweep.py``).
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    CircuitFlow,
-    CircuitSpec,
-    HopLink,
-    LinkSpec,
-    Simulator,
-    TraceRecorder,
-    TransportConfig,
-    allocate_circuit_id,
-    build_chain,
-    mbit_per_second,
-    mib,
-    milliseconds,
-    source_optimal_window,
-)
+import json
+
+from repro import TraceConfig, TraceResult, get_experiment, mib, seconds
 from repro.report import render_trace
 
 
 def main() -> None:
-    sim = Simulator()
-    config = TransportConfig()
-
-    # A chain: source -- r1 -- r2 -- r3 -- sink.  The r1->r2 link is the
-    # bottleneck ("distance to bottleneck: 1 hop" in the paper's terms).
-    fast = LinkSpec(mbit_per_second(50), milliseconds(12))
-    slow = LinkSpec(mbit_per_second(8), milliseconds(12))
-    specs = [fast, slow, fast, fast]
-    names = ["source", "r1", "r2", "r3", "sink"]
-    topology = build_chain(sim, names, specs)
-
-    flow = CircuitFlow(
-        sim,
-        topology,
-        CircuitSpec(allocate_circuit_id(), "source", ["r1", "r2", "r3"], "sink"),
-        config,
-        controller_kind="circuitstart",
+    # One registry lookup; the spec is a frozen, serializable dataclass.
+    experiment = get_experiment("trace")
+    config = TraceConfig(
+        bottleneck_distance=1,     # the slow link sits one hop from the source
         payload_bytes=mib(1),
+        duration=seconds(0.4),
     )
-    trace = TraceRecorder("source cwnd")
-    flow.trace_cwnd(trace)
+    result = experiment.run(config)
 
-    sim.run()
-
-    optimal = source_optimal_window(
-        [HopLink(s.rate, s.delay) for s in specs], config
-    )
-    kb_trace = trace.scaled(time_factor=1e3, value_factor=config.cell_size / 1000)
-
+    cell_kb = config.transport.cell_size / 1000.0
     print(
         render_trace(
-            kb_trace,
+            result.trace_kb_ms(),
             x_label="time [ms]",
             y_label="source cwnd [KB]",
-            hline=optimal.window_cells * config.cell_size / 1000,
+            hline=result.optimal_cwnd_cells * cell_kb,
             hline_label="optimal",
         )
     )
     print()
-    print("time to last byte : %.3f s" % flow.time_to_last_byte)
     print("optimal cwnd      : %d cells (%.1f KB)" % (
-        optimal.window_cells, optimal.window_bytes / 1000))
-    print("final source cwnd : %d cells" % flow.source_controller.cwnd_cells)
-    print("startup exited at : %.1f ms" % (
-        flow.source_controller.startup_exit_time * 1e3))
+        result.optimal_cwnd_cells, result.optimal.window_bytes / 1000))
+    print("final source cwnd : %d cells" % result.final_cwnd_cells)
+    print("startup exited at : %.1f ms" % (result.startup_exit_time * 1e3))
+
+    # Results are plain data: JSON out, typed object back in.
+    payload = json.dumps(result.to_dict())
+    restored = TraceResult.from_dict(json.loads(payload))
+    assert restored == result
+    print("JSON round-trip   : %d bytes, equal=%r" % (
+        len(payload), restored == result))
 
 
 if __name__ == "__main__":

@@ -13,11 +13,18 @@ Slow Start For Multi-Hop Anonymity Systems" (SIGCOMM Posters and Demos
 * :mod:`repro.experiments` — harnesses regenerating every Figure-1 panel;
 * :mod:`repro.report` — ASCII figures and tables.
 
-Quickstart::
+Quickstart (the unified experiment API)::
 
-    from repro import TraceConfig, run_trace_experiment
-    result = run_trace_experiment(TraceConfig(bottleneck_distance=1))
+    from repro import TraceConfig, get_experiment
+    result = get_experiment("trace").run(TraceConfig(bottleneck_distance=1))
     print(result.final_cwnd_cells, "cells; optimal:", result.optimal_cwnd_cells)
+    payload = result.to_dict()   # JSON round-trips via .from_dict()
+
+Batch sweeps fan specs out over worker processes::
+
+    from repro import BatchJob, run_batch
+    batch = run_batch([BatchJob("trace", TraceConfig(bottleneck_distance=d))
+                       for d in (1, 2, 3)], workers=3)
 """
 
 from .analysis import (
@@ -39,19 +46,40 @@ from .core import (
     make_controller,
 )
 from .experiments import (
+    AblationsConfig,
+    AblationsResult,
+    BatchItem,
+    BatchJob,
+    BatchResult,
     CdfConfig,
     CdfResult,
     DynamicConfig,
+    DynamicResult,
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
     FriendlinessConfig,
+    FriendlinessResult,
     InteractiveConfig,
+    InteractiveResult,
     NetworkConfig,
+    OptimalConfig,
+    OptimalResult,
+    SpecError,
     TraceConfig,
     TraceResult,
+    experiment_names,
     generate_network,
+    get_experiment,
+    iter_experiments,
+    register_experiment,
+    run_ablations_experiment,
+    run_batch,
     run_cdf_experiment,
     run_dynamic_experiment,
     run_friendliness_experiment,
     run_interactive_experiment,
+    run_optimal_experiment,
     run_trace_experiment,
 )
 from .report import generate_report
@@ -81,6 +109,11 @@ from .units import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AblationsConfig",
+    "AblationsResult",
+    "BatchItem",
+    "BatchJob",
+    "BatchResult",
     "CELL_SIZE",
     "CdfConfig",
     "CdfResult",
@@ -91,15 +124,23 @@ __all__ = [
     "Directory",
     "DynamicCircuitStartController",
     "DynamicConfig",
+    "DynamicResult",
     "EmpiricalCdf",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
     "FixedWindowController",
     "FriendlinessConfig",
+    "FriendlinessResult",
     "HopLink",
     "HopSender",
     "InteractiveConfig",
+    "InteractiveResult",
     "JumpStartController",
     "LinkSpec",
     "NetworkConfig",
+    "OptimalConfig",
+    "OptimalResult",
     "PathSelector",
     "Phase",
     "PlainSlowStartController",
@@ -107,6 +148,7 @@ __all__ = [
     "Rate",
     "RelayDescriptor",
     "Simulator",
+    "SpecError",
     "Topology",
     "TorHost",
     "TraceConfig",
@@ -118,19 +160,26 @@ __all__ = [
     "build_chain",
     "build_star",
     "cdf_horizontal_gap",
+    "experiment_names",
     "gbit_per_second",
     "generate_network",
     "generate_report",
+    "get_experiment",
+    "iter_experiments",
     "kib",
     "make_controller",
     "mbit_per_second",
     "mib",
     "milliseconds",
     "optimal_windows",
+    "register_experiment",
+    "run_ablations_experiment",
+    "run_batch",
     "run_cdf_experiment",
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",
+    "run_optimal_experiment",
     "run_trace_experiment",
     "seconds",
     "source_optimal_window",

@@ -26,6 +26,18 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self.times)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality, so serialized traces can be compared round-trip."""
+        if not isinstance(other, TraceRecorder):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.times == other.times
+            and self.values == other.values
+        )
+
+    __hash__ = None  # mutable, append-only: not hashable
+
     def add(self, time: float, value: float) -> None:
         """Record *value* at *time*; times must be non-decreasing."""
         if self.times and time < self.times[-1]:

@@ -1,37 +1,33 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Each subcommand regenerates one of the paper's artifacts from the
-terminal without writing any Python:
+The experiment subcommands, their flags and their output are generated
+from the experiment registry (:mod:`repro.experiments.registry`): every
+registered experiment contributes one subcommand named after itself,
+declares its own flags via
+:meth:`~repro.experiments.api.Experiment.add_cli_arguments`, and
+renders its result via
+:meth:`~repro.experiments.api.Experiment.render`.  Adding a new
+experiment to the registry adds its subcommand here with no CLI code.
 
-* ``trace``        — Figure 1 upper panels (cwnd trace vs bottleneck distance)
-* ``cdf``          — Figure 1 lower panel (download-time CDF)
-* ``ablations``    — the A1–A4 design-choice tables
-* ``dynamic``      — the future-work rate-change experiment
-* ``friendliness`` — impact of start-up schemes on background traffic
-* ``optimal``      — evaluate the optimal-window model for a given path
+On top of the generated subcommands:
+
+* ``repro list``             — enumerate the registered experiments;
+* ``repro batch specs.json`` — run a JSON job file as a (parallel) sweep;
+* ``repro report``           — the full reproduction report;
+* every experiment subcommand accepts ``--json`` to emit the
+  serializable result instead of the text rendering.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from dataclasses import replace
 from typing import List, Optional
 
-from .analysis.optimal_window import HopLink, optimal_windows
-from .analysis.stats import summarize
-from .experiments import (
-    CdfConfig,
-    NetworkConfig,
-    TraceConfig,
-    run_cdf_experiment,
-    run_dynamic_experiment,
-    run_friendliness_experiment,
-    run_trace_experiment,
-)
-from .report import format_table, render_cdf_pair, render_trace
-from .transport.config import TransportConfig
-from .units import kib, mbit_per_second, milliseconds, seconds
+from .experiments.api import SpecError
+from .experiments.registry import get_experiment, iter_experiments
+from .experiments.runner import run_batch
 
 __all__ = ["main", "build_parser"]
 
@@ -43,32 +39,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    trace = sub.add_parser("trace", help="Figure 1 upper: cwnd trace")
-    trace.add_argument("--distance", type=int, default=1,
-                       help="bottleneck distance in hops (default 1)")
-    trace.add_argument("--controller", default="circuitstart",
-                       help="controller kind (default circuitstart)")
-    trace.add_argument("--gamma", type=float, default=4.0,
-                       help="Vegas exit threshold (default 4)")
-    trace.add_argument("--duration-ms", type=float, default=400.0,
-                       help="simulated duration (default 400 ms)")
+    for experiment in iter_experiments():
+        command = sub.add_parser(experiment.name, help=experiment.help)
+        experiment.add_cli_arguments(command)
+        command.add_argument(
+            "--json", action="store_true",
+            help="print the serialized result instead of the text rendering",
+        )
 
-    cdf = sub.add_parser("cdf", help="Figure 1 lower: download-time CDF")
-    cdf.add_argument("--circuits", type=int, default=50)
-    cdf.add_argument("--payload-kib", type=int, default=400)
-    cdf.add_argument("--relays", type=int, default=60)
-    cdf.add_argument("--seed", type=int, default=1802)
+    lst = sub.add_parser("list", help="list the registered experiments")
+    lst.add_argument("--json", action="store_true",
+                     help="machine-readable listing")
 
-    sub.add_parser("ablations", help="design-choice tables A1-A4")
-    sub.add_parser("dynamic", help="future-work: mid-flow rate change")
-    sub.add_parser("friendliness", help="impact on background traffic")
-    sub.add_parser("interactive", help="interactive latency under bulk")
-
-    optimal = sub.add_parser("optimal", help="optimal-window model")
-    optimal.add_argument(
-        "--link", action="append", required=True, metavar="MBIT:DELAY_MS",
-        help="one per hop, e.g. --link 50:12 --link 8:12 (repeatable)",
+    batch = sub.add_parser(
+        "batch", help="run a JSON file of experiment specs as one sweep"
     )
+    batch.add_argument(
+        "specs",
+        help='job file: [{"experiment": "trace", "spec": {...}}, ...]',
+    )
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1: serial)")
+    batch.add_argument("--base-seed", type=int, default=None,
+                       help="deterministically re-seed seeded specs per job")
+    batch.add_argument("--out", default="-",
+                       help="merged JSON output file (default: stdout)")
 
     report = sub.add_parser("report", help="full reproduction report")
     report.add_argument("--out", default="-",
@@ -79,182 +74,85 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    config = TraceConfig(
-        bottleneck_distance=args.distance,
-        controller_kind=args.controller,
-        duration=args.duration_ms / 1e3,
-        transport=TransportConfig(gamma=args.gamma),
-    )
-    result = run_trace_experiment(config)
-    cell_kb = config.transport.cell_size / 1000.0
-    print(
-        render_trace(
-            result.trace_kb_ms(),
-            x_label="time [ms]",
-            y_label="source cwnd [KB]",
-            hline=result.optimal_cwnd_cells * cell_kb,
-            hline_label="optimal",
-        )
-    )
-    exit_ms = (
-        "%.1f" % (result.startup_exit_time * 1e3)
-        if result.startup_exit_time is not None
-        else "-"
-    )
-    print(
-        "\nexit=%s ms  peak=%d cells  final=%d cells  optimal=%d cells"
-        % (exit_ms, result.peak_cwnd_cells, result.final_cwnd_cells,
-           result.optimal_cwnd_cells)
-    )
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.command)
+    try:
+        spec = experiment.spec_from_cli(args)
+    except SpecError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    result = experiment.run(spec)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(experiment.render(result))
     return 0
 
 
-def _cmd_cdf(args: argparse.Namespace) -> int:
-    config = CdfConfig(
-        circuit_count=args.circuits,
-        payload_bytes=kib(args.payload_kib),
-        seed=args.seed,
-        network=NetworkConfig(
-            relay_count=args.relays,
-            client_count=max(args.circuits, 1),
-            server_count=max(args.circuits, 1),
-        ),
-    )
-    result = run_cdf_experiment(config)
-    with_kind, without_kind = config.kinds
-    print(
-        render_cdf_pair(
-            "with CircuitStart", result.cdf(with_kind),
-            "without CircuitStart", result.cdf(without_kind),
-        )
-    )
-    rows = []
-    for kind in config.kinds:
-        s = summarize(result.ttlb[kind])
-        rows.append([kind, s.median, s.p10, s.p90, s.maximum,
-                     result.fairness(kind)])
-    print()
-    print(
-        format_table(
-            ["controller", "median [s]", "p10", "p90", "max", "fairness"],
-            rows,
-            title="Time to last byte (%d circuits)" % config.circuit_count,
-        )
-    )
-    print(
-        "\nmedian improvement %.3f s; max CDF gap %.3f s; dominance %.2f"
-        % (result.median_improvement, result.max_improvement, result.dominance)
-    )
-    return 0
-
-
-def _cmd_ablations(args: argparse.Namespace) -> int:
-    from .experiments import (
-        backpropagation_study,
-        compensation_modes,
-        gamma_sweep,
-        initial_window_sweep,
-    )
+def _cmd_list(args: argparse.Namespace) -> int:
+    experiments = iter_experiments()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": e.name,
+                    "spec": e.spec_type.__name__,
+                    "result": e.result_type.__name__,
+                    "help": e.help,
+                }
+                for e in experiments
+            ],
+            indent=2,
+        ))
+        return 0
+    from .report import format_table
 
     print(format_table(
-        ["gamma", "exit [ms]", "peak", "final", "optimal"],
-        [[r.gamma, r.exit_time_ms, r.peak_cwnd_cells, r.final_cwnd_cells,
-          r.optimal_cwnd_cells] for r in gamma_sweep()],
-        title="A1 - gamma sweep",
-    ))
-    print()
-    print(format_table(
-        ["mode", "peak", "after exit", "final", "optimal"],
-        [[r.mode, r.peak_cwnd_cells, r.cwnd_after_exit_cells,
-          r.final_cwnd_cells, r.optimal_cwnd_cells]
-         for r in compensation_modes()],
-        title="A2 - compensation",
-    ))
-    print()
-    print(format_table(
-        ["initial cwnd", "exit [ms]", "final", "optimal"],
-        [[r.initial_cwnd_cells, r.exit_time_ms, r.final_cwnd_cells,
-          r.optimal_cwnd_cells] for r in initial_window_sweep()],
-        title="A3 - initial window",
-    ))
-    print()
-    print(format_table(
-        ["hop", "final", "optimal", "prediction"],
-        [[r.hop_label, r.final_cwnd_cells, r.optimal_cwnd_cells,
-          r.backprop_prediction_cells] for r in backpropagation_study()],
-        title="A4 - backpropagation",
+        ["experiment", "spec", "result", "description"],
+        [[e.name, e.spec_type.__name__, e.result_type.__name__, e.help]
+         for e in experiments],
+        title="Registered experiments (%d)" % len(experiments),
     ))
     return 0
 
 
-def _cmd_dynamic(args: argparse.Namespace) -> int:
-    result = run_dynamic_experiment()
-    rows = []
-    for kind in result.config.controller_kinds:
-        adapt = result.time_to_adapt(kind)
-        rows.append([kind, adapt * 1e3 if adapt is not None else None,
-                     result.bytes_after_change[kind] // 1024,
-                     result.reentries[kind]])
-    print(format_table(
-        ["controller", "adapt [ms]", "bytes after [KiB]", "re-entries"],
-        rows,
-        title="Mid-flow rate change (optimal %d -> %d cells)"
-        % (result.optimal_before_cells, result.optimal_after_cells),
-    ))
-    return 0
-
-
-def _cmd_friendliness(args: argparse.Namespace) -> int:
-    rows = run_friendliness_experiment()
-    print(format_table(
-        ["controller", "baseline p95 [ms]", "loaded p95 [ms]",
-         "added p95 [ms]", "peak queue [pkts]"],
-        [[r.kind, r.baseline_p95 * 1e3, r.loaded_p95 * 1e3,
-          r.added_delay_p95 * 1e3, r.peak_queue_packets] for r in rows],
-        title="Background-traffic impact of start-up schemes",
-    ))
-    return 0
-
-
-def _cmd_interactive(args: argparse.Namespace) -> int:
-    from .experiments import run_interactive_experiment
-
-    rows = run_interactive_experiment()
-    print(format_table(
-        ["controller", "steady mean [ms]", "steady max [ms]",
-         "bulk delivered [MiB]"],
-        [[r.kind, r.steady_mean * 1e3, r.steady_max * 1e3,
-          r.bulk_bytes_delivered / 2**20] for r in rows],
-        title="Interactive latency under a competing bulk stream",
-    ))
-    return 0
-
-
-def _cmd_optimal(args: argparse.Namespace) -> int:
-    links = []
-    for spec in args.link:
-        try:
-            mbit_text, delay_text = spec.split(":", 1)
-            links.append(
-                HopLink(mbit_per_second(float(mbit_text)),
-                        milliseconds(float(delay_text)))
-            )
-        except (ValueError, TypeError):
-            print("bad --link %r (want MBIT:DELAY_MS, e.g. 8:12)" % spec,
-                  file=sys.stderr)
-            return 2
-    config = TransportConfig()
-    windows = optimal_windows(links, config)
-    print(format_table(
-        ["hop", "rate [Mbit/s]", "loop delay [ms]", "optimal [cells]",
-         "optimal [KB]"],
-        [[w.hop_index, links[w.hop_index].rate.mbit_per_second,
-          w.loop_delay * 1e3, w.window_cells, w.window_bytes / 1000]
-         for w in windows],
-        title="Optimal windows (bottleneck %.3g Mbit/s)"
-        % min(l.rate.mbit_per_second for l in links),
-    ))
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        with open(args.specs) as f:
+            data = json.load(f)
+    except OSError as error:
+        print("cannot read batch file: %s" % error, file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print("batch file %s is not valid JSON: %s" % (args.specs, error),
+              file=sys.stderr)
+        return 2
+    if isinstance(data, dict):
+        data = data.get("jobs", [])
+    if not isinstance(data, list) or not data:
+        print("batch file %s holds no jobs" % args.specs, file=sys.stderr)
+        return 2
+    try:
+        # run_batch normalizes dicts, bare experiment names, and BatchJobs.
+        result = run_batch(data, workers=args.workers,
+                           base_seed=args.base_seed)
+    except TypeError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except KeyError as error:
+        # get_experiment formats its own message; str(KeyError) re-quotes.
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    except ValueError as error:  # SpecError and config validation
+        print(str(error), file=sys.stderr)
+        return 2
+    text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print("wrote %s (%d jobs)" % (args.out, len(result.items)))
     return 0
 
 
@@ -271,14 +169,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {
-    "trace": _cmd_trace,
-    "cdf": _cmd_cdf,
-    "ablations": _cmd_ablations,
-    "dynamic": _cmd_dynamic,
-    "friendliness": _cmd_friendliness,
-    "interactive": _cmd_interactive,
-    "optimal": _cmd_optimal,
+_BUILTIN_COMMANDS = {
+    "list": _cmd_list,
+    "batch": _cmd_batch,
     "report": _cmd_report,
 }
 
@@ -286,4 +179,5 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _BUILTIN_COMMANDS.get(args.command, _cmd_experiment)
+    return handler(args)

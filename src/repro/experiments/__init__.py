@@ -1,13 +1,60 @@
 """Experiment harnesses: everything needed to regenerate Figure 1.
 
+All experiments speak the unified API (:mod:`~repro.experiments.api`):
+each is a registered :class:`~repro.experiments.api.Experiment` with a
+serializable spec/result pair, discoverable by name::
+
+    from repro.experiments import get_experiment
+
+    result = get_experiment("trace").run(TraceConfig(bottleneck_distance=3))
+    payload = result.to_dict()          # JSON round-trips
+
+* :mod:`~repro.experiments.api` — specs, results, serialization;
+* :mod:`~repro.experiments.registry` — the ``@register_experiment`` registry;
+* :mod:`~repro.experiments.runner` — ``run_batch`` parallel sweeps;
 * :mod:`~repro.experiments.netgen` — seeded random star networks;
 * :mod:`~repro.experiments.fig1_traces` — the cwnd-trace panels (F1a/b);
 * :mod:`~repro.experiments.fig1_cdf` — the download-time CDF (F1c);
 * :mod:`~repro.experiments.ablations` — the A1–A4 design-choice studies;
-* :mod:`~repro.experiments.dynamic` — the future-work rate-change study.
+* :mod:`~repro.experiments.dynamic` — the future-work rate-change study;
+* :mod:`~repro.experiments.friendliness` — background-traffic impact;
+* :mod:`~repro.experiments.interactive` — interactive latency under bulk;
+* :mod:`~repro.experiments.optimal` — the analytical optimal-window model.
 """
 
+from .api import (
+    Experiment,
+    ExperimentProtocol,
+    ExperimentResult,
+    ExperimentSpec,
+    Serializable,
+    SpecError,
+    decode,
+    encode,
+)
+from .registry import (
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register_experiment,
+)
+from .runner import BatchItem, BatchJob, BatchResult, run_batch
+
+# Importing the experiment modules populates the registry; the import
+# order below is the registry (and CLI subcommand) order.
+from .fig1_traces import TraceConfig, TraceExperiment, TraceResult, run_trace_experiment
+from .fig1_cdf import (
+    CdfConfig,
+    CdfExperiment,
+    CdfResult,
+    FlowSample,
+    run_cdf_experiment,
+    select_circuit_paths,
+)
 from .ablations import (
+    AblationsConfig,
+    AblationsExperiment,
+    AblationsResult,
     BackpropagationRow,
     CompensationRow,
     GammaRow,
@@ -16,60 +63,95 @@ from .ablations import (
     compensation_modes,
     gamma_sweep,
     initial_window_sweep,
+    run_ablations_experiment,
 )
 from .dynamic import (
     DynamicConfig,
+    DynamicExperiment,
     DynamicResult,
     run_dynamic_experiment,
     set_duplex_rate,
 )
-from .fig1_cdf import (
-    CdfConfig,
-    CdfResult,
-    FlowSample,
-    run_cdf_experiment,
-    select_circuit_paths,
-)
-from .fig1_traces import TraceConfig, TraceResult, run_trace_experiment
 from .friendliness import (
     FriendlinessConfig,
+    FriendlinessExperiment,
+    FriendlinessResult,
     FriendlinessRow,
     run_friendliness_experiment,
 )
 from .interactive import (
     InteractiveConfig,
+    InteractiveExperiment,
+    InteractiveResult,
     InteractiveRow,
     run_interactive_experiment,
+)
+from .optimal import (
+    OptimalConfig,
+    OptimalExperiment,
+    OptimalResult,
+    run_optimal_experiment,
 )
 from .netgen import GeneratedNetwork, NetworkConfig, generate_network
 
 __all__ = [
+    "AblationsConfig",
+    "AblationsExperiment",
+    "AblationsResult",
     "BackpropagationRow",
+    "BatchItem",
+    "BatchJob",
+    "BatchResult",
     "CdfConfig",
+    "CdfExperiment",
     "CdfResult",
     "CompensationRow",
     "DynamicConfig",
+    "DynamicExperiment",
     "DynamicResult",
-    "FriendlinessConfig",
+    "Experiment",
+    "ExperimentProtocol",
+    "ExperimentResult",
+    "ExperimentSpec",
     "FlowSample",
+    "FriendlinessConfig",
+    "FriendlinessExperiment",
+    "FriendlinessResult",
     "FriendlinessRow",
     "GammaRow",
     "GeneratedNetwork",
-    "InteractiveConfig",
-    "InteractiveRow",
     "InitialWindowRow",
+    "InteractiveConfig",
+    "InteractiveExperiment",
+    "InteractiveResult",
+    "InteractiveRow",
     "NetworkConfig",
+    "OptimalConfig",
+    "OptimalExperiment",
+    "OptimalResult",
+    "Serializable",
+    "SpecError",
     "TraceConfig",
+    "TraceExperiment",
     "TraceResult",
     "backpropagation_study",
     "compensation_modes",
+    "decode",
+    "encode",
+    "experiment_names",
     "gamma_sweep",
     "generate_network",
+    "get_experiment",
     "initial_window_sweep",
+    "iter_experiments",
+    "register_experiment",
+    "run_ablations_experiment",
+    "run_batch",
     "run_cdf_experiment",
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",
+    "run_optimal_experiment",
     "run_trace_experiment",
     "select_circuit_paths",
     "set_duplex_rate",

@@ -18,8 +18,8 @@ benchmark harness can print paper-style tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.optimal_window import (
     HopLink,
@@ -30,9 +30,14 @@ from ..net.topology import build_chain
 from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from ..transport.config import TransportConfig
+from .api import Experiment, ExperimentResult, ExperimentSpec
 from .fig1_traces import TraceConfig, TraceResult, run_trace_experiment
+from .registry import get_experiment, register_experiment
 
 __all__ = [
+    "AblationsConfig",
+    "AblationsExperiment",
+    "AblationsResult",
     "GammaRow",
     "CompensationRow",
     "InitialWindowRow",
@@ -41,6 +46,7 @@ __all__ = [
     "compensation_modes",
     "initial_window_sweep",
     "backpropagation_study",
+    "run_ablations_experiment",
 ]
 
 
@@ -235,3 +241,106 @@ def backpropagation_study(
         )
         for i in range(len(flow.controllers))
     ]
+
+
+# ----------------------------------------------------------------------
+# The unified A1-A4 experiment
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AblationsConfig(ExperimentSpec):
+    """Parameters of the combined A1-A4 ablation run."""
+
+    #: A1: exit thresholds to sweep.
+    gammas: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    #: A2: overshoot-compensation modes to compare.
+    compensations: Tuple[str, ...] = ("acked", "halve", "none")
+    #: A3: initial windows to sweep.
+    initial_windows: Tuple[int, ...] = (1, 2, 4, 10)
+    #: Base scenario for A1/A3 (near bottleneck).
+    near: TraceConfig = field(default_factory=TraceConfig)
+    #: Base scenario for A2/A4 (distant bottleneck).
+    far: TraceConfig = field(
+        default_factory=lambda: TraceConfig(bottleneck_distance=3)
+    )
+    #: A4: how long the circuit settles before windows are read.
+    settle_time: float = 1.0
+
+
+@dataclass
+class AblationsResult(ExperimentResult):
+    """All four ablation tables from one run."""
+
+    config: AblationsConfig
+    gamma_rows: List[GammaRow]
+    compensation_rows: List[CompensationRow]
+    initial_window_rows: List[InitialWindowRow]
+    backpropagation_rows: List[BackpropagationRow]
+
+
+@register_experiment
+class AblationsExperiment(Experiment):
+    """The A1-A4 design-choice studies behind ``repro ablations``."""
+
+    name = "ablations"
+    help = "design-choice tables A1-A4"
+    spec_type = AblationsConfig
+    result_type = AblationsResult
+
+    def run(self, spec: AblationsConfig) -> AblationsResult:
+        return AblationsResult(
+            config=spec,
+            gamma_rows=gamma_sweep(spec.gammas, base=spec.near),
+            compensation_rows=compensation_modes(
+                spec.compensations, base=spec.far
+            ),
+            initial_window_rows=initial_window_sweep(
+                spec.initial_windows, base=spec.near
+            ),
+            backpropagation_rows=backpropagation_study(
+                base=spec.far, settle_time=spec.settle_time
+            ),
+        )
+
+    def render(self, result: AblationsResult) -> str:
+        from ..report import format_table
+
+        sections = [
+            format_table(
+                ["gamma", "exit [ms]", "peak", "final", "optimal"],
+                [[r.gamma, r.exit_time_ms, r.peak_cwnd_cells,
+                  r.final_cwnd_cells, r.optimal_cwnd_cells]
+                 for r in result.gamma_rows],
+                title="A1 - gamma sweep",
+            ),
+            format_table(
+                ["mode", "peak", "after exit", "final", "optimal"],
+                [[r.mode, r.peak_cwnd_cells, r.cwnd_after_exit_cells,
+                  r.final_cwnd_cells, r.optimal_cwnd_cells]
+                 for r in result.compensation_rows],
+                title="A2 - compensation",
+            ),
+            format_table(
+                ["initial cwnd", "exit [ms]", "final", "optimal"],
+                [[r.initial_cwnd_cells, r.exit_time_ms, r.final_cwnd_cells,
+                  r.optimal_cwnd_cells]
+                 for r in result.initial_window_rows],
+                title="A3 - initial window",
+            ),
+            format_table(
+                ["hop", "final", "optimal", "prediction"],
+                [[r.hop_label, r.final_cwnd_cells, r.optimal_cwnd_cells,
+                  r.backprop_prediction_cells]
+                 for r in result.backpropagation_rows],
+                title="A4 - backpropagation",
+            ),
+        ]
+        return "\n\n".join(sections)
+
+
+def run_ablations_experiment(
+    config: Optional[AblationsConfig] = None,
+) -> AblationsResult:
+    """Run all four ablation studies (thin wrapper over the registry)."""
+    return get_experiment("ablations").run(config or AblationsConfig())

@@ -27,9 +27,12 @@ from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from ..transport.config import TransportConfig
 from ..units import Rate, mbit_per_second, mib, milliseconds, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .registry import get_experiment, register_experiment
 
 __all__ = [
     "DynamicConfig",
+    "DynamicExperiment",
     "DynamicResult",
     "run_dynamic_experiment",
     "set_duplex_rate",
@@ -54,7 +57,7 @@ def set_duplex_rate(topology: Topology, a_name: str, b_name: str, rate: Rate) ->
 
 
 @dataclass(frozen=True)
-class DynamicConfig:
+class DynamicConfig(ExperimentSpec):
     """Parameters of the mid-flow change experiment."""
 
     relay_count: int = 3
@@ -71,7 +74,7 @@ class DynamicConfig:
 
 
 @dataclass
-class DynamicResult:
+class DynamicResult(ExperimentResult):
     """Per-controller traces and post-change delivery."""
 
     config: DynamicConfig
@@ -95,28 +98,56 @@ class DynamicResult:
         return None
 
 
+@register_experiment
+class DynamicExperiment(Experiment):
+    """The mid-flow rate-change study behind ``repro dynamic``."""
+
+    name = "dynamic"
+    help = "future-work: mid-flow rate change"
+    spec_type = DynamicConfig
+    result_type = DynamicResult
+
+    def run(self, spec: DynamicConfig) -> DynamicResult:
+        traces: Dict[str, TraceRecorder] = {}
+        bytes_after: Dict[str, int] = {}
+        reentries: Dict[str, int] = {}
+
+        for kind in spec.controller_kinds:
+            trace, delivered_after, reentry_count = _run_one(spec, kind)
+            traces[kind] = trace
+            bytes_after[kind] = delivered_after
+            reentries[kind] = reentry_count
+
+        before, after = _optimal_windows(spec)
+        return DynamicResult(
+            config=spec,
+            traces=traces,
+            bytes_after_change=bytes_after,
+            optimal_before_cells=before,
+            optimal_after_cells=after,
+            reentries=reentries,
+        )
+
+    def render(self, result: DynamicResult) -> str:
+        from ..report import format_table
+
+        rows = []
+        for kind in result.config.controller_kinds:
+            adapt = result.time_to_adapt(kind)
+            rows.append([kind, adapt * 1e3 if adapt is not None else None,
+                         result.bytes_after_change[kind] // 1024,
+                         result.reentries[kind]])
+        return format_table(
+            ["controller", "adapt [ms]", "bytes after [KiB]", "re-entries"],
+            rows,
+            title="Mid-flow rate change (optimal %d -> %d cells)"
+            % (result.optimal_before_cells, result.optimal_after_cells),
+        )
+
+
 def run_dynamic_experiment(config: Optional[DynamicConfig] = None) -> DynamicResult:
-    """Run the rate-change scenario once per controller kind."""
-    config = config or DynamicConfig()
-    traces: Dict[str, TraceRecorder] = {}
-    bytes_after: Dict[str, int] = {}
-    reentries: Dict[str, int] = {}
-
-    for kind in config.controller_kinds:
-        trace, delivered_after, reentry_count = _run_one(config, kind)
-        traces[kind] = trace
-        bytes_after[kind] = delivered_after
-        reentries[kind] = reentry_count
-
-    before, after = _optimal_windows(config)
-    return DynamicResult(
-        config=config,
-        traces=traces,
-        bytes_after_change=bytes_after,
-        optimal_before_cells=before,
-        optimal_after_cells=after,
-        reentries=reentries,
-    )
+    """Run the rate-change scenario (thin wrapper over the registry)."""
+    return get_experiment("dynamic").run(config or DynamicConfig())
 
 
 def _link_specs(config: DynamicConfig) -> List[LinkSpec]:

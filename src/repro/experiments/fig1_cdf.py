@@ -36,10 +36,13 @@ from ..tor.circuit import CircuitFlow, CircuitSpec
 from ..tor.path_selection import PathSelector
 from ..transport.config import TransportConfig
 from ..units import kib, milliseconds, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
 from .netgen import NetworkConfig, generate_network
+from .registry import register_experiment
 
 __all__ = [
     "CdfConfig",
+    "CdfExperiment",
     "CdfResult",
     "FlowSample",
     "run_cdf_experiment",
@@ -48,7 +51,7 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class CdfConfig:
+class CdfConfig(ExperimentSpec):
     """Parameters of the concurrent-download experiment."""
 
     circuit_count: int = 50
@@ -75,7 +78,7 @@ class CdfConfig:
 
 
 @dataclass
-class FlowSample:
+class FlowSample(ExperimentResult):
     """Per-circuit measurements from one mode's run."""
 
     circuit_id: int
@@ -85,7 +88,7 @@ class FlowSample:
 
 
 @dataclass
-class CdfResult:
+class CdfResult(ExperimentResult):
     """Per-mode samples and cross-mode comparison statistics."""
 
     config: CdfConfig
@@ -147,16 +150,81 @@ def select_circuit_paths(
     ]
 
 
+@register_experiment
+class CdfExperiment(Experiment):
+    """The Figure-1c harness behind ``repro cdf``."""
+
+    name = "cdf"
+    help = "Figure 1 lower: download-time CDF"
+    spec_type = CdfConfig
+    result_type = CdfResult
+
+    def run(self, spec: CdfConfig) -> CdfResult:
+        return _run_cdf(spec, kinds=None)
+
+    def add_cli_arguments(self, parser) -> None:
+        parser.add_argument("--circuits", type=int, default=50)
+        parser.add_argument("--payload-kib", type=int, default=400)
+        parser.add_argument("--relays", type=int, default=60)
+        parser.add_argument("--seed", type=int, default=1802)
+
+    def spec_from_cli(self, args) -> CdfConfig:
+        return CdfConfig(
+            circuit_count=args.circuits,
+            payload_bytes=kib(args.payload_kib),
+            seed=args.seed,
+            network=NetworkConfig(
+                relay_count=args.relays,
+                client_count=max(args.circuits, 1),
+                server_count=max(args.circuits, 1),
+            ),
+        )
+
+    def render(self, result: CdfResult) -> str:
+        from ..report import format_table, render_cdf_pair
+
+        config = result.config
+        with_kind, without_kind = config.kinds
+        figure = render_cdf_pair(
+            "with CircuitStart", result.cdf(with_kind),
+            "without CircuitStart", result.cdf(without_kind),
+        )
+        rows = []
+        for kind in config.kinds:
+            s = summarize(result.ttlb[kind])
+            rows.append([kind, s.median, s.p10, s.p90, s.maximum,
+                         result.fairness(kind)])
+        table = format_table(
+            ["controller", "median [s]", "p10", "p90", "max", "fairness"],
+            rows,
+            title="Time to last byte (%d circuits)" % config.circuit_count,
+        )
+        stats = (
+            "median improvement %.3f s; max CDF gap %.3f s; dominance %.2f"
+            % (result.median_improvement, result.max_improvement,
+               result.dominance)
+        )
+        return figure + "\n\n" + table + "\n\n" + stats
+
+
 def run_cdf_experiment(
     config: Optional[CdfConfig] = None,
     kinds: Optional[Sequence[str]] = None,
 ) -> CdfResult:
+    """Run the concurrent-download experiment (wrapper over the registry).
+
+    *kinds* optionally restricts which controller kinds actually run;
+    the registry path always runs every kind of ``config.kinds``.
+    """
+    return _run_cdf(config or CdfConfig(), kinds)
+
+
+def _run_cdf(config: CdfConfig, kinds: Optional[Sequence[str]]) -> CdfResult:
     """Run the concurrent-download experiment for every controller kind.
 
     Both modes see identical networks, relay paths and start times; the
     only difference is the start-up controller at every hop.
     """
-    config = config or CdfConfig()
     run_kinds = list(kinds) if kinds is not None else list(config.kinds)
 
     # Path selection and start jitter are drawn once, from streams

@@ -34,12 +34,14 @@ from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from ..transport.config import TransportConfig
 from ..units import Rate, mbit_per_second, mib, milliseconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .registry import get_experiment, register_experiment
 
-__all__ = ["TraceConfig", "TraceResult", "run_trace_experiment"]
+__all__ = ["TraceConfig", "TraceExperiment", "TraceResult", "run_trace_experiment"]
 
 
 @dataclass(frozen=True)
-class TraceConfig:
+class TraceConfig(ExperimentSpec):
     """Parameters of one cwnd-trace run."""
 
     #: Number of relays in the circuit (Tor's default: 3).
@@ -81,7 +83,7 @@ class TraceConfig:
 
 
 @dataclass
-class TraceResult:
+class TraceResult(ExperimentResult):
     """Everything the Figure-1a/b panel needs."""
 
     config: TraceConfig
@@ -112,36 +114,90 @@ class TraceResult:
         return self.final_cwnd_cells - self.optimal.window_cells
 
 
+@register_experiment
+class TraceExperiment(Experiment):
+    """The Figure-1a/b harness behind ``repro trace``."""
+
+    name = "trace"
+    help = "Figure 1 upper: cwnd trace"
+    spec_type = TraceConfig
+    result_type = TraceResult
+
+    def run(self, spec: TraceConfig) -> TraceResult:
+        """Run one chain-topology transfer and trace the source's window."""
+        sim = Simulator()
+        relay_names = ["relay%d" % (i + 1) for i in range(spec.relay_count)]
+        names = ["source", *relay_names, "sink"]
+        link_specs = spec.link_specs()
+        topology = build_chain(sim, names, link_specs)
+
+        circuit = CircuitSpec(allocate_circuit_id(), "source", relay_names, "sink")
+        flow = CircuitFlow(
+            sim,
+            topology,
+            circuit,
+            spec.transport,
+            controller_kind=spec.controller_kind,
+            payload_bytes=spec.payload_bytes,
+            start_time=0.0,
+        )
+        recorder = TraceRecorder("source-cwnd:%s" % spec.controller_kind)
+        flow.trace_cwnd(recorder)
+
+        sim.run_until(spec.duration)
+
+        links = [HopLink(s.rate, s.delay) for s in link_specs]
+        optimal = source_optimal_window(links, spec.transport)
+        return TraceResult(
+            config=spec,
+            trace=recorder,
+            optimal=optimal,
+            startup_exit_time=flow.source_controller.startup_exit_time,
+            peak_cwnd_cells=int(recorder.max_value),
+            final_cwnd_cells=flow.source_controller.cwnd_cells,
+        )
+
+    def add_cli_arguments(self, parser) -> None:
+        parser.add_argument("--distance", type=int, default=1,
+                            help="bottleneck distance in hops (default 1)")
+        parser.add_argument("--controller", default="circuitstart",
+                            help="controller kind (default circuitstart)")
+        parser.add_argument("--gamma", type=float, default=4.0,
+                            help="Vegas exit threshold (default 4)")
+        parser.add_argument("--duration-ms", type=float, default=400.0,
+                            help="simulated duration (default 400 ms)")
+
+    def spec_from_cli(self, args) -> TraceConfig:
+        return TraceConfig(
+            bottleneck_distance=args.distance,
+            controller_kind=args.controller,
+            duration=args.duration_ms / 1e3,
+            transport=TransportConfig(gamma=args.gamma),
+        )
+
+    def render(self, result: TraceResult) -> str:
+        from ..report import render_trace
+
+        cell_kb = result.config.transport.cell_size / 1000.0
+        figure = render_trace(
+            result.trace_kb_ms(),
+            x_label="time [ms]",
+            y_label="source cwnd [KB]",
+            hline=result.optimal_cwnd_cells * cell_kb,
+            hline_label="optimal",
+        )
+        exit_ms = (
+            "%.1f" % (result.startup_exit_time * 1e3)
+            if result.startup_exit_time is not None
+            else "-"
+        )
+        return figure + (
+            "\n\nexit=%s ms  peak=%d cells  final=%d cells  optimal=%d cells"
+            % (exit_ms, result.peak_cwnd_cells, result.final_cwnd_cells,
+               result.optimal_cwnd_cells)
+        )
+
+
 def run_trace_experiment(config: TraceConfig) -> TraceResult:
-    """Run one chain-topology transfer and trace the source's window."""
-    sim = Simulator()
-    relay_names = ["relay%d" % (i + 1) for i in range(config.relay_count)]
-    names = ["source", *relay_names, "sink"]
-    specs = config.link_specs()
-    topology = build_chain(sim, names, specs)
-
-    spec = CircuitSpec(allocate_circuit_id(), "source", relay_names, "sink")
-    flow = CircuitFlow(
-        sim,
-        topology,
-        spec,
-        config.transport,
-        controller_kind=config.controller_kind,
-        payload_bytes=config.payload_bytes,
-        start_time=0.0,
-    )
-    recorder = TraceRecorder("source-cwnd:%s" % config.controller_kind)
-    flow.trace_cwnd(recorder)
-
-    sim.run_until(config.duration)
-
-    links = [HopLink(s.rate, s.delay) for s in specs]
-    optimal = source_optimal_window(links, config.transport)
-    return TraceResult(
-        config=config,
-        trace=recorder,
-        optimal=optimal,
-        startup_exit_time=flow.source_controller.startup_exit_time,
-        peak_cwnd_cells=int(recorder.max_value),
-        final_cwnd_cells=flow.source_controller.cwnd_cells,
-    )
+    """Run one cwnd-trace experiment (thin wrapper over the registry)."""
+    return get_experiment("trace").run(config)

@@ -31,12 +31,20 @@ from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from ..transport.config import TransportConfig
 from ..units import Rate, mbit_per_second, mib, milliseconds, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .registry import get_experiment, register_experiment
 
-__all__ = ["FriendlinessConfig", "FriendlinessRow", "run_friendliness_experiment"]
+__all__ = [
+    "FriendlinessConfig",
+    "FriendlinessExperiment",
+    "FriendlinessResult",
+    "FriendlinessRow",
+    "run_friendliness_experiment",
+]
 
 
 @dataclass(frozen=True)
-class FriendlinessConfig:
+class FriendlinessConfig(ExperimentSpec):
     """Parameters of the background-interference experiment."""
 
     fast_rate: Rate = mbit_per_second(50.0)
@@ -81,12 +89,53 @@ class FriendlinessRow:
         return self.loaded_p95 - self.baseline_p95
 
 
+@dataclass
+class FriendlinessResult(ExperimentResult):
+    """One row per start-up scheme under test."""
+
+    config: FriendlinessConfig
+    rows: List[FriendlinessRow]
+
+
+@register_experiment
+class FriendlinessExperiment(Experiment):
+    """The background-interference study behind ``repro friendliness``."""
+
+    name = "friendliness"
+    help = "impact on background traffic"
+    spec_type = FriendlinessConfig
+    result_type = FriendlinessResult
+
+    def run(self, spec: FriendlinessConfig) -> FriendlinessResult:
+        return FriendlinessResult(
+            config=spec,
+            rows=[_run_one(spec, kind) for kind in spec.controller_kinds],
+        )
+
+    def render(self, result: FriendlinessResult) -> str:
+        from ..report import format_table
+
+        return format_table(
+            ["controller", "baseline p95 [ms]", "loaded p95 [ms]",
+             "added p95 [ms]", "peak queue [pkts]"],
+            [[r.kind, r.baseline_p95 * 1e3, r.loaded_p95 * 1e3,
+              r.added_delay_p95 * 1e3, r.peak_queue_packets]
+             for r in result.rows],
+            title="Background-traffic impact of start-up schemes",
+        )
+
+
 def run_friendliness_experiment(
     config: Optional[FriendlinessConfig] = None,
 ) -> List[FriendlinessRow]:
-    """Run the interference scenario once per controller kind."""
-    config = config or FriendlinessConfig()
-    return [_run_one(config, kind) for kind in config.controller_kinds]
+    """Run the interference scenario (thin wrapper over the registry).
+
+    Returns the per-scheme rows, as before the unified API; the
+    registry path wraps the same rows in a :class:`FriendlinessResult`.
+    """
+    return get_experiment("friendliness").run(
+        config or FriendlinessConfig()
+    ).rows
 
 
 def _build_topology(sim: Simulator, config: FriendlinessConfig) -> Topology:

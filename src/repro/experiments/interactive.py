@@ -27,15 +27,23 @@ from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from ..tor.streams import MultiStreamSink, StreamScheduler
 from ..transport.config import TransportConfig
 from ..units import Rate, kib, mbit_per_second, mib, milliseconds, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .registry import get_experiment, register_experiment
 
-__all__ = ["InteractiveConfig", "InteractiveRow", "run_interactive_experiment"]
+__all__ = [
+    "InteractiveConfig",
+    "InteractiveExperiment",
+    "InteractiveResult",
+    "InteractiveRow",
+    "run_interactive_experiment",
+]
 
 BULK_STREAM = 1
 INTERACTIVE_STREAM = 2
 
 
 @dataclass(frozen=True)
-class InteractiveConfig:
+class InteractiveConfig(ExperimentSpec):
     """Parameters of the mixed bulk/interactive workload."""
 
     relay_count: int = 3
@@ -75,12 +83,52 @@ class InteractiveRow:
     bulk_bytes_delivered: int
 
 
+@dataclass
+class InteractiveResult(ExperimentResult):
+    """One row per controller kind of the mixed workload."""
+
+    config: InteractiveConfig
+    rows: List[InteractiveRow]
+
+
+@register_experiment
+class InteractiveExperiment(Experiment):
+    """The bulk-vs-interactive study behind ``repro interactive``."""
+
+    name = "interactive"
+    help = "interactive latency under bulk"
+    spec_type = InteractiveConfig
+    result_type = InteractiveResult
+
+    def run(self, spec: InteractiveConfig) -> InteractiveResult:
+        return InteractiveResult(
+            config=spec,
+            rows=[_run_one(spec, kind) for kind in spec.controller_kinds],
+        )
+
+    def render(self, result: InteractiveResult) -> str:
+        from ..report import format_table
+
+        return format_table(
+            ["controller", "steady mean [ms]", "steady max [ms]",
+             "bulk delivered [MiB]"],
+            [[r.kind, r.steady_mean * 1e3, r.steady_max * 1e3,
+              r.bulk_bytes_delivered / 2**20] for r in result.rows],
+            title="Interactive latency under a competing bulk stream",
+        )
+
+
 def run_interactive_experiment(
     config: Optional[InteractiveConfig] = None,
 ) -> List[InteractiveRow]:
-    """Run the mixed workload once per controller kind."""
-    config = config or InteractiveConfig()
-    return [_run_one(config, kind) for kind in config.controller_kinds]
+    """Run the mixed workload (thin wrapper over the registry).
+
+    Returns the per-kind rows, as before the unified API; the registry
+    path wraps the same rows in an :class:`InteractiveResult`.
+    """
+    return get_experiment("interactive").run(
+        config or InteractiveConfig()
+    ).rows
 
 
 def _run_one(config: InteractiveConfig, kind: str) -> InteractiveRow:

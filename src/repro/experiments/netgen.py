@@ -27,12 +27,13 @@ from ..sim.rand import RandomStreams
 from ..sim.simulator import Simulator
 from ..tor.directory import Directory, RelayDescriptor
 from ..units import Rate, mbit_per_second, milliseconds
+from .api import ExperimentSpec
 
 __all__ = ["NetworkConfig", "GeneratedNetwork", "generate_network"]
 
 
 @dataclass(frozen=True)
-class NetworkConfig:
+class NetworkConfig(ExperimentSpec):
     """Parameters of the random star network."""
 
     relay_count: int = 60

@@ -10,23 +10,18 @@ the future-work study, and the friendliness/interactive extensions.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Optional
+from typing import List
 
 from ..analysis.stats import summarize
 from ..experiments import (
+    AblationsConfig,
     CdfConfig,
+    DynamicConfig,
+    FriendlinessConfig,
+    InteractiveConfig,
     NetworkConfig,
     TraceConfig,
-    backpropagation_study,
-    compensation_modes,
-    gamma_sweep,
-    initial_window_sweep,
-    run_cdf_experiment,
-    run_dynamic_experiment,
-    run_friendliness_experiment,
-    run_interactive_experiment,
-    run_trace_experiment,
+    get_experiment,
 )
 from ..units import kib, seconds
 from .ascii import render_cdf_pair, render_trace
@@ -43,7 +38,7 @@ def _trace_section(full: bool) -> List[str]:
     lines = ["## Figure 1 (upper): source cwnd traces", ""]
     duration = seconds(1.0) if full else seconds(0.6)
     for distance in (1, 3):
-        result = run_trace_experiment(
+        result = get_experiment("trace").run(
             TraceConfig(bottleneck_distance=distance, duration=duration)
         )
         cell_kb = result.config.transport.cell_size / 1000.0
@@ -77,7 +72,7 @@ def _cdf_section(full: bool) -> List[str]:
             network=NetworkConfig(relay_count=16, client_count=12,
                                   server_count=12),
         )
-    result = run_cdf_experiment(config)
+    result = get_experiment("cdf").run(config)
     with_kind, without_kind = config.kinds
     lines = ["## Figure 1 (lower): download-time CDF", ""]
     lines.append(_code_block(render_cdf_pair(
@@ -106,14 +101,19 @@ def _cdf_section(full: bool) -> List[str]:
 
 
 def _ablation_section(full: bool) -> List[str]:
-    base = None if full else TraceConfig(duration=seconds(0.6))
-    far = None if full else TraceConfig(bottleneck_distance=3,
-                                        duration=seconds(0.6))
+    if full:
+        config = AblationsConfig()
+    else:
+        config = AblationsConfig(
+            near=TraceConfig(duration=seconds(0.6)),
+            far=TraceConfig(bottleneck_distance=3, duration=seconds(0.6)),
+        )
+    result = get_experiment("ablations").run(config)
     lines = ["## Ablations (A1-A4)", ""]
     lines.append(_code_block(format_table(
         ["gamma", "exit [ms]", "peak", "final", "optimal"],
         [[r.gamma, r.exit_time_ms, r.peak_cwnd_cells, r.final_cwnd_cells,
-          r.optimal_cwnd_cells] for r in gamma_sweep(base=base)],
+          r.optimal_cwnd_cells] for r in result.gamma_rows],
         title="A1 - gamma",
     )))
     lines.append("")
@@ -121,21 +121,21 @@ def _ablation_section(full: bool) -> List[str]:
         ["mode", "peak", "after exit", "final", "optimal"],
         [[r.mode, r.peak_cwnd_cells, r.cwnd_after_exit_cells,
           r.final_cwnd_cells, r.optimal_cwnd_cells]
-         for r in compensation_modes(base=far)],
+         for r in result.compensation_rows],
         title="A2 - compensation",
     )))
     lines.append("")
     lines.append(_code_block(format_table(
         ["initial cwnd", "exit [ms]", "final", "optimal"],
         [[r.initial_cwnd_cells, r.exit_time_ms, r.final_cwnd_cells,
-          r.optimal_cwnd_cells] for r in initial_window_sweep(base=base)],
+          r.optimal_cwnd_cells] for r in result.initial_window_rows],
         title="A3 - initial window",
     )))
     lines.append("")
     lines.append(_code_block(format_table(
         ["hop", "final", "optimal", "prediction"],
         [[r.hop_label, r.final_cwnd_cells, r.optimal_cwnd_cells,
-          r.backprop_prediction_cells] for r in backpropagation_study()],
+          r.backprop_prediction_cells] for r in result.backpropagation_rows],
         title="A4 - backpropagation",
     )))
     lines.append("")
@@ -144,7 +144,7 @@ def _ablation_section(full: bool) -> List[str]:
 
 def _extensions_section() -> List[str]:
     lines = ["## Extensions", ""]
-    dynamic = run_dynamic_experiment()
+    dynamic = get_experiment("dynamic").run(DynamicConfig())
     rows = []
     for kind in dynamic.config.controller_kinds:
         adapt = dynamic.time_to_adapt(kind)
@@ -156,19 +156,19 @@ def _extensions_section() -> List[str]:
         % (dynamic.optimal_before_cells, dynamic.optimal_after_cells),
     )))
     lines.append("")
-    friendly = run_friendliness_experiment()
+    friendly = get_experiment("friendliness").run(FriendlinessConfig())
     lines.append(_code_block(format_table(
         ["controller", "added p95 [ms]", "peak queue [pkts]"],
         [[r.kind, r.added_delay_p95 * 1e3, r.peak_queue_packets]
-         for r in friendly],
+         for r in friendly.rows],
         title="Friendliness toward background traffic",
     )))
     lines.append("")
-    interactive = run_interactive_experiment()
+    interactive = get_experiment("interactive").run(InteractiveConfig())
     lines.append(_code_block(format_table(
         ["controller", "steady mean [ms]", "steady max [ms]"],
         [[r.kind, r.steady_mean * 1e3, r.steady_max * 1e3]
-         for r in interactive],
+         for r in interactive.rows],
         title="Interactive latency under a competing bulk stream",
     )))
     lines.append("")

@@ -1,14 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers live in :mod:`helpers` (``tests/helpers.py``) so they can
+be imported explicitly; ``make_chain_flow`` is re-exported here for
+backward compatibility with older test code.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.net.topology import LinkSpec, build_chain
+from helpers import make_chain_flow  # noqa: F401  (re-export)
 from repro.sim.simulator import Simulator
-from repro.tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from repro.transport.config import TransportConfig
-from repro.units import mbit_per_second, milliseconds
 
 
 @pytest.fixture
@@ -21,43 +24,3 @@ def sim():
 def config():
     """Default transport configuration."""
     return TransportConfig()
-
-
-def make_chain_flow(
-    sim,
-    relay_count=3,
-    rates_mbit=None,
-    delay_ms=8.0,
-    controller_kind="circuitstart",
-    payload_bytes=64 * 498,
-    config=None,
-    start_time=0.0,
-    workload_none=False,
-):
-    """Build a chain topology with one circuit flow over it.
-
-    Returns ``(flow, topology, specs)``.  ``rates_mbit`` gives one rate
-    per link (relay_count + 1 links); default: all 16 Mbit/s.
-    """
-    link_count = relay_count + 1
-    if rates_mbit is None:
-        rates_mbit = [16.0] * link_count
-    if len(rates_mbit) != link_count:
-        raise ValueError("need %d link rates" % link_count)
-    specs = [
-        LinkSpec(mbit_per_second(r), milliseconds(delay_ms)) for r in rates_mbit
-    ]
-    relay_names = ["relay%d" % (i + 1) for i in range(relay_count)]
-    names = ["source", *relay_names, "sink"]
-    topology = build_chain(sim, names, specs)
-    flow = CircuitFlow(
-        sim,
-        topology,
-        CircuitSpec(allocate_circuit_id(), "source", relay_names, "sink"),
-        config or TransportConfig(),
-        controller_kind=controller_kind,
-        payload_bytes=payload_bytes,
-        start_time=start_time,
-        workload="none" if workload_none else "bulk",
-    )
-    return flow, topology, specs

@@ -1,0 +1,84 @@
+"""Backward-compat guard: the pre-registry public API keeps working.
+
+The unified experiment API (PR: registry-driven specs/results) kept the
+legacy ``run_*_experiment`` functions as thin wrappers; these tests pin
+that contract so future refactors cannot silently drop it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import (
+    FriendlinessConfig,
+    InteractiveConfig,
+    OptimalConfig,
+    TraceConfig,
+    get_experiment,
+    run_friendliness_experiment,
+    run_interactive_experiment,
+    run_optimal_experiment,
+    run_trace_experiment,
+)
+from repro.units import mib, milliseconds, seconds
+
+
+def test_every_public_name_still_imports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), "repro.__all__ lists missing %r" % name
+        assert getattr(repro, name) is not None
+
+
+def test_all_is_sorted_and_unique():
+    assert list(repro.__all__) == sorted(set(repro.__all__))
+
+
+def test_legacy_trace_matches_registry_path():
+    config = TraceConfig(duration=milliseconds(150.0))
+    legacy = run_trace_experiment(config)
+    registry = get_experiment("trace").run(config)
+    assert legacy == registry
+    assert json.dumps(legacy.to_dict(), sort_keys=True) == json.dumps(
+        registry.to_dict(), sort_keys=True
+    )
+
+
+def test_legacy_optimal_matches_registry_path():
+    legacy = run_optimal_experiment(OptimalConfig())
+    registry = get_experiment("optimal").run(OptimalConfig())
+    assert legacy == registry
+
+
+def test_legacy_friendliness_returns_registry_rows():
+    config = FriendlinessConfig(
+        circuit_start=seconds(0.3),
+        duration=seconds(0.8),
+        payload_bytes=mib(1),
+        controller_kinds=("circuitstart",),
+    )
+    legacy = run_friendliness_experiment(config)
+    registry = get_experiment("friendliness").run(config)
+    assert legacy == registry.rows
+
+
+def test_legacy_interactive_returns_registry_rows():
+    config = InteractiveConfig(
+        duration=seconds(1.4),
+        settle_time=seconds(0.7),
+        bulk_bytes=mib(8),
+        controller_kinds=("circuitstart",),
+    )
+    legacy = run_interactive_experiment(config)
+    registry = get_experiment("interactive").run(config)
+    assert legacy == registry.rows
+
+
+def test_legacy_configs_still_construct_with_defaults():
+    # Constructing any legacy config must not require new arguments.
+    for cls in (repro.TraceConfig, repro.CdfConfig, repro.DynamicConfig,
+                repro.FriendlinessConfig, repro.InteractiveConfig,
+                repro.NetworkConfig, repro.TransportConfig):
+        assert cls() == cls()

@@ -1,0 +1,245 @@
+"""Tests for the unified experiment API: registry, serialization, batch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    AblationsConfig,
+    BatchJob,
+    CdfConfig,
+    DynamicConfig,
+    FriendlinessConfig,
+    InteractiveConfig,
+    NetworkConfig,
+    OptimalConfig,
+    SpecError,
+    TraceConfig,
+    encode,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    run_batch,
+)
+from repro.experiments.api import Experiment, decode
+from repro.experiments.registry import register_experiment
+from repro.units import kib, mib, milliseconds, seconds
+
+EXPECTED_NAMES = [
+    "trace",
+    "cdf",
+    "ablations",
+    "dynamic",
+    "friendliness",
+    "interactive",
+    "optimal",
+]
+
+
+def fast_trace_config(**overrides):
+    return TraceConfig(duration=milliseconds(150.0), **overrides)
+
+
+def fast_spec(name):
+    """A reduced-scale spec per experiment, for cheap full runs."""
+    if name == "trace":
+        return fast_trace_config()
+    if name == "cdf":
+        return CdfConfig(
+            circuit_count=4,
+            payload_bytes=kib(100),
+            network=NetworkConfig(relay_count=8, client_count=4,
+                                  server_count=4),
+        )
+    if name == "ablations":
+        return AblationsConfig(
+            gammas=(4.0,),
+            compensations=("acked",),
+            initial_windows=(2,),
+            near=fast_trace_config(),
+            far=fast_trace_config(bottleneck_distance=3),
+            settle_time=seconds(0.4),
+        )
+    if name == "dynamic":
+        return DynamicConfig(change_time=seconds(0.5),
+                             duration=seconds(1.2),
+                             payload_bytes=mib(4))
+    if name == "friendliness":
+        return FriendlinessConfig(circuit_start=seconds(0.3),
+                                  duration=seconds(0.8),
+                                  payload_bytes=mib(1),
+                                  controller_kinds=("circuitstart",))
+    if name == "interactive":
+        return InteractiveConfig(duration=seconds(1.4),
+                                 settle_time=seconds(0.7),
+                                 bulk_bytes=mib(8),
+                                 controller_kinds=("circuitstart",))
+    if name == "optimal":
+        return OptimalConfig()
+    raise AssertionError("unknown experiment %r" % name)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_contains_all_seven_experiments_exactly_once():
+    names = experiment_names()
+    assert names == EXPECTED_NAMES
+    assert len(names) == len(set(names))
+
+
+def test_every_experiment_declares_spec_and_result_types():
+    for experiment in iter_experiments():
+        assert experiment.spec_type is not None, experiment.name
+        assert experiment.result_type is not None, experiment.name
+        assert isinstance(experiment.default_spec(), experiment.spec_type)
+        assert experiment.help
+
+
+def test_get_experiment_unknown_name():
+    with pytest.raises(KeyError, match="teleport"):
+        get_experiment("teleport")
+
+
+def test_duplicate_registration_rejected():
+    class Duplicate(Experiment):
+        name = "trace"
+        spec_type = TraceConfig
+        result_type = TraceConfig
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_experiment(Duplicate)
+
+
+# ----------------------------------------------------------------------
+# Spec serialization
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_default_spec_json_round_trip(name):
+    experiment = get_experiment(name)
+    spec = experiment.default_spec()
+    data = json.loads(json.dumps(spec.to_dict()))
+    assert experiment.spec_type.from_dict(data) == spec
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_fast_spec_json_round_trip(name):
+    spec = fast_spec(name)
+    experiment = get_experiment(name)
+    data = json.loads(json.dumps(spec.to_dict()))
+    back = experiment.spec_type.from_dict(data)
+    assert back == spec
+    # A second encode of the decoded spec is byte-stable.
+    assert json.dumps(back.to_dict(), sort_keys=True) == json.dumps(
+        spec.to_dict(), sort_keys=True
+    )
+
+
+def test_non_default_nested_fields_round_trip():
+    spec = TraceConfig(
+        bottleneck_distance=2,
+        transport=TraceConfig().transport.with_(gamma=8.0, compensation="halve"),
+    )
+    back = TraceConfig.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert back == spec
+    assert back.transport.gamma == 8.0
+    assert back.bottleneck_rate == spec.bottleneck_rate  # Rate round-trips
+
+
+def test_from_dict_missing_required_field_raises():
+    from repro.experiments.runner import BatchItem
+
+    with pytest.raises(SpecError, match="missing required field"):
+        BatchItem.from_dict({"index": 0})
+
+
+def test_from_dict_unknown_field_rejected():
+    # A typo'd spec field must not silently fall back to the default.
+    with pytest.raises(SpecError, match="bottleneck_distanse"):
+        TraceConfig.from_dict({"bottleneck_distanse": 3})
+
+
+# ----------------------------------------------------------------------
+# Result serialization (full runs at reduced scale)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_result_json_round_trip(name):
+    experiment = get_experiment(name)
+    result = experiment.run(fast_spec(name))
+    assert isinstance(result, experiment.result_type)
+    data = json.loads(json.dumps(result.to_dict()))
+    back = experiment.result_type.from_dict(data)
+    assert back == result
+    assert json.dumps(back.to_dict(), sort_keys=True) == json.dumps(
+        result.to_dict(), sort_keys=True
+    )
+
+
+def test_encode_decode_helpers_cover_plain_values():
+    assert encode({"a": (1, 2.5), "b": None}) == {"a": [1, 2.5], "b": None}
+    assert decode(tuple, [1, 2]) == (1, 2)
+    with pytest.raises(TypeError):
+        encode(object())
+
+
+# ----------------------------------------------------------------------
+# Batch runner
+# ----------------------------------------------------------------------
+
+
+def _batch_jobs():
+    return [
+        BatchJob("trace", fast_spec("trace"), label="near"),
+        BatchJob("trace", fast_trace_config(bottleneck_distance=3),
+                 label="far"),
+        BatchJob("optimal"),
+    ]
+
+
+def test_run_batch_parallel_matches_serial_byte_identically():
+    serial = run_batch(_batch_jobs(), workers=1)
+    parallel = run_batch(_batch_jobs(), workers=2)
+    assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+        parallel.to_dict(), sort_keys=True
+    )
+    assert len(serial) == 3
+    assert [item.index for item in serial.items] == [0, 1, 2]
+    assert [item.label for item in serial.items] == ["near", "far", None]
+
+
+def test_run_batch_items_decode_back_to_typed_objects():
+    batch = run_batch(_batch_jobs()[:1])
+    item = batch.items[0]
+    assert item.spec_object() == fast_spec("trace")
+    result = item.result_object()
+    assert result.final_cwnd_cells > 0
+    assert batch.by_experiment("trace") == [item]
+
+
+def test_run_batch_accepts_tuples_dicts_and_names():
+    batch = run_batch([
+        ("optimal", OptimalConfig()),
+        {"experiment": "optimal"},
+        "optimal",
+    ])
+    assert [item.experiment for item in batch.items] == ["optimal"] * 3
+    # All three forms resolve to the default spec here.
+    assert batch.items[0].spec == batch.items[1].spec == batch.items[2].spec
+
+
+def test_run_batch_base_seed_is_deterministic_and_per_job():
+    jobs = [BatchJob("cdf", fast_spec("cdf")), BatchJob("cdf", fast_spec("cdf"))]
+    one = run_batch(jobs, base_seed=99)
+    two = run_batch(jobs, base_seed=99)
+    assert json.dumps(one.to_dict()) == json.dumps(two.to_dict())
+    seeds = [item.spec["seed"] for item in one.items]
+    assert seeds[0] != seeds[1]  # per-job derivation
+    assert seeds != [fast_spec("cdf").seed] * 2  # actually re-seeded

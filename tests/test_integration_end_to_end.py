@@ -12,7 +12,7 @@ from repro.tor.circuit import CircuitFlow, CircuitSpec
 from repro.tor.path_selection import PathSelector
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 def test_transfer_conserves_cells(sim):

@@ -13,7 +13,7 @@ from repro.net.queues import ScriptedLossQueue
 from repro.sim.simulator import Simulator
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 RELIABLE = TransportConfig(reliable=True, rto_min=0.05, rto_initial=0.3)

@@ -18,7 +18,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.sim.simulator import Simulator
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 link_rates = st.lists(

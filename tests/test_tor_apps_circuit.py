@@ -9,7 +9,7 @@ from repro.tor.cells import DataCell
 from repro.tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 # ----------------------------------------------------------------------

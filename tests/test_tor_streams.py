@@ -7,7 +7,7 @@ import pytest
 from repro.tor.streams import MessageRecord, MultiStreamSink, Stream, StreamScheduler
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,7 @@ from repro.transport.hop import HopBrokenError, HopSender
 from repro.transport.rtt import RttEstimator
 from repro.core.circuitstart import CircuitStartController
 
-from conftest import make_chain_flow
+from helpers import make_chain_flow
 
 
 RELIABLE = TransportConfig(reliable=True, rto_min=0.05, rto_initial=0.3)
