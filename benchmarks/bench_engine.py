@@ -36,6 +36,26 @@ def test_event_queue_throughput(benchmark):
     assert benchmark(churn) == 10_000
 
 
+def test_event_queue_fast_path_throughput(benchmark):
+    """Push/pop 10k handle-free events through the calendar queue."""
+
+    def churn():
+        q = EventQueue()
+        for i in range(10_000):
+            q.push_fast(float(i % 97), _noop)
+        count = 0
+        while q:
+            q.pop_callback()
+            count += 1
+        return count
+
+    assert benchmark(churn) == 10_000
+
+
+def _noop():
+    pass
+
+
 def test_simulator_event_rate(benchmark):
     """Execute 10k chained timer events."""
 

@@ -1,0 +1,41 @@
+"""Network-scale scenario: many mixed circuits through a shared bottleneck.
+
+Regenerates the ``netscale`` experiment at full scale: 60 circuits
+(bulk + interactive mix) whose paths all cross the slowest relay of a
+generated star network.  This is the scenario the allocation-light
+engine fast path exists for — the asserted shape doubles as a
+regression check that CircuitStart's benefit survives systemic (not
+just incidental) contention.
+
+Run:  pytest benchmarks/bench_netscale.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.experiments.netscale import (
+    BULK,
+    NetScaleConfig,
+    run_netscale_experiment,
+)
+
+
+def test_netscale_shared_bottleneck(benchmark, save_artifact):
+    config = NetScaleConfig()  # 60 circuits, 70% bulk
+    result = benchmark.pedantic(
+        run_netscale_experiment, args=(config,), rounds=1, iterations=1
+    )
+
+    with_kind, without_kind = config.kinds
+    assert len(result.samples[with_kind]) == config.circuit_count
+    # Bulk circuits must benefit from CircuitStart at the median even
+    # when every circuit fights for the same relay.
+    assert result.median_improvement(BULK) > 0
+    # CircuitStart circuits do exit start-up under systemic load.
+    assert len(result.startup_durations(with_kind)) > config.circuit_count // 2
+
+    from repro.experiments.registry import get_experiment
+
+    save_artifact(
+        "netscale_bottleneck.txt",
+        get_experiment("netscale").render(result),
+    )

@@ -62,6 +62,8 @@ from .experiments import (
     FriendlinessResult,
     InteractiveConfig,
     InteractiveResult,
+    NetScaleConfig,
+    NetScaleResult,
     NetworkConfig,
     OptimalConfig,
     OptimalResult,
@@ -79,6 +81,7 @@ from .experiments import (
     run_dynamic_experiment,
     run_friendliness_experiment,
     run_interactive_experiment,
+    run_netscale_experiment,
     run_optimal_experiment,
     run_trace_experiment,
 )
@@ -138,6 +141,8 @@ __all__ = [
     "InteractiveResult",
     "JumpStartController",
     "LinkSpec",
+    "NetScaleConfig",
+    "NetScaleResult",
     "NetworkConfig",
     "OptimalConfig",
     "OptimalResult",
@@ -179,6 +184,7 @@ __all__ = [
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",
+    "run_netscale_experiment",
     "run_optimal_experiment",
     "run_trace_experiment",
     "seconds",

@@ -64,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deterministically re-seed seeded specs per job")
     batch.add_argument("--out", default="-",
                        help="merged JSON output file (default: stdout)")
+    batch.add_argument("--dry-run", action="store_true",
+                       help="validate the spec file (decode every job, "
+                            "report unknown experiments/fields) without "
+                            "running anything")
 
     report = sub.add_parser("report", help="full reproduction report")
     report.add_argument("--out", default="-",
@@ -132,6 +136,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not isinstance(data, list) or not data:
         print("batch file %s holds no jobs" % args.specs, file=sys.stderr)
         return 2
+    if args.dry_run:
+        return _dry_run_batch(args.specs, data)
     try:
         # run_batch normalizes dicts, bare experiment names, and BatchJobs.
         result = run_batch(data, workers=args.workers,
@@ -153,6 +159,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
         print("wrote %s (%d jobs)" % (args.out, len(result.items)))
+    return 0
+
+
+def _dry_run_batch(path: str, jobs: list) -> int:
+    """Validate every job of a batch file without running anything.
+
+    Decoding a job exercises the full spec path — experiment lookup in
+    the registry, field-name checking and type-driven reconstruction —
+    so a passing dry run means ``repro batch`` will accept the file.
+    """
+    # The same normalizer run_batch uses, so a dry-run verdict can
+    # never disagree with what the real run would accept.
+    from .experiments.runner import _normalize_job
+
+    errors = 0
+    for index, raw in enumerate(jobs):
+        try:
+            job = _normalize_job(raw)
+            spec = job.resolved_spec()
+        except KeyError as error:  # unknown experiment
+            errors += 1
+            message = error.args[0] if error.args else str(error)
+            print("job %d: %s" % (index, message), file=sys.stderr)
+            continue
+        except (TypeError, ValueError) as error:  # bad job shape, SpecError
+            errors += 1
+            print("job %d: %s" % (index, error), file=sys.stderr)
+            continue
+        label = " [%s]" % job.label if job.label else ""
+        print("job %d: %s %s%s ok"
+              % (index, job.experiment, type(spec).__name__, label))
+    if errors:
+        print("%s: %d of %d jobs invalid" % (path, errors, len(jobs)),
+              file=sys.stderr)
+        return 2
+    print("%s: all %d jobs valid" % (path, len(jobs)))
     return 0
 
 

@@ -19,7 +19,9 @@ serializable spec/result pair, discoverable by name::
 * :mod:`~repro.experiments.dynamic` — the future-work rate-change study;
 * :mod:`~repro.experiments.friendliness` — background-traffic impact;
 * :mod:`~repro.experiments.interactive` — interactive latency under bulk;
-* :mod:`~repro.experiments.optimal` — the analytical optimal-window model.
+* :mod:`~repro.experiments.optimal` — the analytical optimal-window model;
+* :mod:`~repro.experiments.netscale` — network-scale circuit mix over a
+  shared bottleneck relay.
 """
 
 from .api import (
@@ -92,6 +94,14 @@ from .optimal import (
     OptimalResult,
     run_optimal_experiment,
 )
+from .netscale import (
+    CircuitSample,
+    NetScaleConfig,
+    NetScaleExperiment,
+    NetScaleResult,
+    run_netscale_experiment,
+    select_netscale_paths,
+)
 from .netgen import GeneratedNetwork, NetworkConfig, generate_network
 
 __all__ = [
@@ -105,6 +115,7 @@ __all__ = [
     "CdfConfig",
     "CdfExperiment",
     "CdfResult",
+    "CircuitSample",
     "CompensationRow",
     "DynamicConfig",
     "DynamicExperiment",
@@ -125,6 +136,9 @@ __all__ = [
     "InteractiveExperiment",
     "InteractiveResult",
     "InteractiveRow",
+    "NetScaleConfig",
+    "NetScaleExperiment",
+    "NetScaleResult",
     "NetworkConfig",
     "OptimalConfig",
     "OptimalExperiment",
@@ -151,8 +165,10 @@ __all__ = [
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",
+    "run_netscale_experiment",
     "run_optimal_experiment",
     "run_trace_experiment",
     "select_circuit_paths",
+    "select_netscale_paths",
     "set_duplex_rate",
 ]

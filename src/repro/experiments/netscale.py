@@ -1,0 +1,393 @@
+"""Network-scale concurrent-circuit study (``repro netscale``).
+
+The Figure-1c experiment runs 50 circuits that interact only through
+the generated star network's access links.  This experiment is the
+first genuinely *network-scale* scenario: many circuits — a mix of bulk
+downloads and short interactive fetches — share relays (endpoints are
+reused round-robin, relay paths overlap) and additionally all cross one
+designated **common bottleneck relay**, the slowest relay of the
+generated consensus, forced into the middle position of every path.
+Contention at that relay is therefore systemic, not incidental, which
+is exactly the regime CircuitStart's start-up targets: a new circuit
+must find its fair share of an already-loaded relay without first
+flooding it.
+
+Measured per circuit and per controller kind (``with``/``without``
+CircuitStart, as in the paper's legend):
+
+* time to first byte — what interactive use feels;
+* time to last byte and goodput — the bulk metric;
+* start-up duration — how long the source controller stayed in its
+  start-up phase (``None`` if the transfer ended inside it).
+
+The harness follows the Figure-1c recipe: the network, the paths, the
+workload mix and the start times are planned once from the seed, then
+each controller kind replays the identical scenario on a fresh
+simulator, so every difference in the output is attributable to the
+start-up scheme.  The allocation-light engine fast path is what makes
+this scenario sweepable; ``events_executed`` is reported per kind so
+the engine cost of a scenario stays visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.stats import EmpiricalCdf, summarize
+from ..sim.rand import RandomStreams
+from ..sim.simulator import Simulator
+from ..tor.circuit import CircuitFlow, CircuitSpec
+from ..transport.config import TransportConfig
+from ..units import kib, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .netgen import NetworkConfig, generate_network
+from .registry import register_experiment
+
+__all__ = [
+    "NetScaleConfig",
+    "NetScaleExperiment",
+    "NetScaleResult",
+    "CircuitSample",
+    "run_netscale_experiment",
+    "select_netscale_paths",
+]
+
+BULK = "bulk"
+INTERACTIVE = "interactive"
+
+
+def _default_network() -> NetworkConfig:
+    # Fewer endpoints than circuits is intentional: endpoint reuse is
+    # part of the "shared" in network-scale (clients run several
+    # circuits, like a Tor client does).
+    return NetworkConfig(relay_count=30, client_count=30, server_count=30)
+
+
+@dataclass(frozen=True)
+class NetScaleConfig(ExperimentSpec):
+    """Parameters of the network-scale concurrent-circuit scenario."""
+
+    circuit_count: int = 60
+    hops: int = 3
+    #: Fraction of circuits carrying a bulk download; the rest are
+    #: short interactive-style fetches (a web page, not a file).
+    bulk_fraction: float = 0.7
+    bulk_payload_bytes: int = kib(300)
+    interactive_payload_bytes: int = kib(25)
+    seed: int = 2018
+    #: Circuits start uniformly within this window, so the bottleneck
+    #: relay sees a steady arrival of *new* circuits joining existing
+    #: load — the start-up scheme's operating regime.
+    start_window: float = seconds(2.0)
+    #: Hard cap on simulated time; not finishing by then is an error.
+    max_sim_time: float = seconds(120.0)
+    #: The paper's legend: with CircuitStart vs. BackTap's native start.
+    kinds: Tuple[str, str] = ("with", "without")
+    network: NetworkConfig = field(default_factory=_default_network)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+
+    def __post_init__(self) -> None:
+        if self.circuit_count < 1:
+            raise ValueError("need at least one circuit")
+        if self.hops < 1:
+            raise ValueError("need at least one relay hop")
+        if not 0.0 <= self.bulk_fraction <= 1.0:
+            raise ValueError(
+                "bulk_fraction must be within [0, 1], got %r" % self.bulk_fraction
+            )
+        if self.bulk_payload_bytes <= 0 or self.interactive_payload_bytes <= 0:
+            raise ValueError("payload sizes must be positive")
+        if self.start_window < 0:
+            raise ValueError("start_window must be non-negative")
+        if self.network.relay_count < self.hops:
+            raise ValueError(
+                "%d relays cannot form %d-hop paths"
+                % (self.network.relay_count, self.hops)
+            )
+
+
+@dataclass
+class CircuitSample(ExperimentResult):
+    """One circuit's measurements under one controller kind."""
+
+    circuit_id: int
+    workload: str  # "bulk" | "interactive"
+    relays: List[str]
+    payload_bytes: int
+    start_time: float
+    time_to_first_byte: float
+    time_to_last_byte: float
+    goodput_bytes_per_second: float
+    #: Seconds the source controller spent in its start-up phase;
+    #: ``None`` when the transfer completed without leaving start-up.
+    startup_duration: Optional[float]
+
+
+@dataclass
+class NetScaleResult(ExperimentResult):
+    """Per-kind circuit samples plus engine-level accounting."""
+
+    config: NetScaleConfig
+    #: The relay every circuit crosses (the slowest generated relay).
+    bottleneck_relay: str
+    #: controller kind -> one sample per circuit, circuit order.
+    samples: Dict[str, List[CircuitSample]]
+    #: controller kind -> simulator events executed for the whole run
+    #: (the engine cost of the scenario; tracks the fast-path benefit).
+    events_executed: Dict[str, int]
+
+    # --- analysis helpers -------------------------------------------------
+
+    def of_workload(self, kind: str, workload: Optional[str]) -> List[CircuitSample]:
+        """Samples for *kind*, optionally restricted to one workload."""
+        rows = self.samples[kind]
+        if workload is None:
+            return list(rows)
+        return [s for s in rows if s.workload == workload]
+
+    def ttlb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            [s.time_to_last_byte for s in self.of_workload(kind, workload)]
+        )
+
+    def ttfb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            [s.time_to_first_byte for s in self.of_workload(kind, workload)]
+        )
+
+    def median_improvement(self, workload: Optional[str] = None) -> float:
+        """Median TTLB difference, without − with (positive = faster)."""
+        with_kind, without_kind = self.config.kinds
+        return (
+            self.ttlb_cdf(without_kind, workload).median
+            - self.ttlb_cdf(with_kind, workload).median
+        )
+
+    def startup_durations(self, kind: str) -> List[float]:
+        """Start-up phase lengths of the circuits that did exit it."""
+        return sorted(
+            s.startup_duration
+            for s in self.samples[kind]
+            if s.startup_duration is not None
+        )
+
+
+def select_netscale_paths(
+    config: NetScaleConfig, streams: RandomStreams, directory, bottleneck: str
+) -> List[List[str]]:
+    """Relay paths with *bottleneck* forced into every middle position.
+
+    The remaining positions are sampled bandwidth-weighted without
+    replacement (Tor-style), excluding the bottleneck so it appears
+    exactly once per path.  Deterministic given the seed.
+    """
+    rng = streams.stream("netscale.paths")
+    middle = config.hops // 2
+    paths: List[List[str]] = []
+    for __ in range(config.circuit_count):
+        others = [
+            relay.name
+            for relay in directory.weighted_sample(
+                rng, config.hops - 1, exclude=[bottleneck]
+            )
+        ]
+        paths.append(others[:middle] + [bottleneck] + others[middle:])
+    return paths
+
+
+def _plan(config: NetScaleConfig):
+    """Everything both kinds share: network, bottleneck, paths, workloads."""
+    planning = RandomStreams(config.seed)
+    network = generate_network(Simulator(), config.network, planning)
+    # The slowest relay of the generated consensus; name breaks rate ties
+    # so the choice is deterministic.
+    bottleneck = min(
+        network.relay_names,
+        key=lambda name: (network.relay_rate(name).bytes_per_second, name),
+    )
+    paths = select_netscale_paths(config, planning, network.directory, bottleneck)
+    workload_rng = planning.stream("netscale.workloads")
+    workloads = [
+        BULK if workload_rng.random() < config.bulk_fraction else INTERACTIVE
+        for __ in range(config.circuit_count)
+    ]
+    start_rng = planning.stream("netscale.starts")
+    starts = [
+        start_rng.uniform(0.0, config.start_window)
+        for __ in range(config.circuit_count)
+    ]
+    return bottleneck, paths, workloads, starts
+
+
+def _run_one_kind(
+    config: NetScaleConfig,
+    kind: str,
+    paths: List[List[str]],
+    workloads: List[str],
+    starts: List[float],
+) -> Tuple[List[CircuitSample], int]:
+    sim = Simulator()
+    streams = RandomStreams(config.seed)  # regenerate the identical network
+    network = generate_network(sim, config.network, streams)
+
+    flows: List[CircuitFlow] = []
+    for index, (path, workload, start) in enumerate(
+        zip(paths, workloads, starts)
+    ):
+        payload = (
+            config.bulk_payload_bytes
+            if workload == BULK
+            else config.interactive_payload_bytes
+        )
+        spec = CircuitSpec(
+            circuit_id=index + 1,
+            source=network.server_names[index % len(network.server_names)],
+            relays=path,
+            sink=network.client_names[index % len(network.client_names)],
+        )
+        flows.append(
+            CircuitFlow(
+                sim,
+                network.topology,
+                spec,
+                config.transport,
+                controller_kind=kind,
+                payload_bytes=payload,
+                start_time=start,
+            )
+        )
+
+    sim.run_until(config.max_sim_time)
+
+    unfinished = [flow for flow in flows if not flow.done]
+    if unfinished:
+        raise RuntimeError(
+            "%d/%d circuits did not finish within %.1fs (kind=%s); first: %r"
+            % (len(unfinished), len(flows), config.max_sim_time, kind,
+               unfinished[0])
+        )
+
+    samples: List[CircuitSample] = []
+    for flow, workload in zip(flows, workloads):
+        ttlb = flow.time_to_last_byte
+        assert flow.sink.first_cell_time is not None
+        exit_time = flow.source_controller.startup_exit_time
+        samples.append(
+            CircuitSample(
+                circuit_id=flow.spec.circuit_id,
+                workload=workload,
+                relays=list(flow.spec.relays),
+                payload_bytes=flow.payload_bytes,
+                start_time=flow.start_time,
+                time_to_first_byte=flow.sink.first_cell_time - flow.start_time,
+                time_to_last_byte=ttlb,
+                goodput_bytes_per_second=flow.payload_bytes / ttlb,
+                startup_duration=(
+                    None if exit_time is None else exit_time - flow.start_time
+                ),
+            )
+        )
+    return samples, sim.events_executed
+
+
+@register_experiment
+class NetScaleExperiment(Experiment):
+    """The network-scale harness behind ``repro netscale``."""
+
+    name = "netscale"
+    help = "network-scale circuit mix over a shared bottleneck"
+    spec_type = NetScaleConfig
+    result_type = NetScaleResult
+
+    def run(self, spec: NetScaleConfig) -> NetScaleResult:
+        bottleneck, paths, workloads, starts = _plan(spec)
+        samples: Dict[str, List[CircuitSample]] = {}
+        events: Dict[str, int] = {}
+        for kind in spec.kinds:
+            samples[kind], events[kind] = _run_one_kind(
+                spec, kind, paths, workloads, starts
+            )
+        return NetScaleResult(
+            config=spec,
+            bottleneck_relay=bottleneck,
+            samples=samples,
+            events_executed=events,
+        )
+
+    def add_cli_arguments(self, parser) -> None:
+        parser.add_argument("--circuits", type=int, default=60)
+        parser.add_argument("--relays", type=int, default=30)
+        parser.add_argument("--bulk-fraction", type=float, default=0.7)
+        parser.add_argument("--bulk-payload-kib", type=int, default=300)
+        parser.add_argument("--seed", type=int, default=2018)
+
+    def spec_from_cli(self, args) -> NetScaleConfig:
+        return NetScaleConfig(
+            circuit_count=args.circuits,
+            bulk_fraction=args.bulk_fraction,
+            bulk_payload_bytes=kib(args.bulk_payload_kib),
+            seed=args.seed,
+            network=NetworkConfig(
+                relay_count=args.relays,
+                client_count=max(args.relays, 1),
+                server_count=max(args.relays, 1),
+            ),
+        )
+
+    def render(self, result: NetScaleResult) -> str:
+        from ..report import format_table
+
+        config = result.config
+        rows = []
+        for workload in (BULK, INTERACTIVE):
+            for kind in config.kinds:
+                samples = result.of_workload(kind, workload)
+                if not samples:
+                    continue
+                ttlb = summarize([s.time_to_last_byte for s in samples])
+                ttfb = summarize([s.time_to_first_byte for s in samples])
+                rows.append([
+                    workload, kind, len(samples),
+                    ttfb.median, ttlb.median, ttlb.p90,
+                ])
+        table = format_table(
+            ["workload", "controller", "circuits",
+             "median TTFB [s]", "median TTLB [s]", "p90 TTLB [s]"],
+            rows,
+            title="Network scale: %d circuits through bottleneck %s"
+            % (config.circuit_count, result.bottleneck_relay),
+        )
+        with_kind, without_kind = config.kinds
+        startup = result.startup_durations(with_kind)
+        # A workload class can be empty (bulk_fraction 0 or 1, or a
+        # small seeded mix landing all on one side); only summarize the
+        # classes that have circuits.
+        improvements = ", ".join(
+            "%s %.3f s" % (workload, result.median_improvement(workload))
+            for workload in (BULK, INTERACTIVE)
+            if result.of_workload(with_kind, workload)
+        )
+        lines = [
+            table,
+            "",
+            "median TTLB improvement: %s" % (improvements or "n/a"),
+            "startup exits (%s): %d/%d circuits, median %.3f s"
+            % (with_kind, len(startup), config.circuit_count,
+               EmpiricalCdf(startup).median if startup else float("nan")),
+            "engine events: %s"
+            % ", ".join(
+                "%s=%d" % (kind, result.events_executed[kind])
+                for kind in config.kinds
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_netscale_experiment(
+    config: Optional[NetScaleConfig] = None,
+) -> NetScaleResult:
+    """Run the network-scale scenario (wrapper over the registry)."""
+    from .registry import get_experiment
+
+    return get_experiment("netscale").run(config or NetScaleConfig())

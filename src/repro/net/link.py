@@ -14,11 +14,18 @@ ns-3's point-to-point devices:
 Links are *unidirectional*; :func:`connect_duplex` (in
 :mod:`repro.net.topology`) wires two of them between a pair of nodes.
 The receiving side hands packets to ``node.deliver``.
+
+This is the engine's hottest code: every cell crossing every link costs
+one pass through :meth:`Interface._transmit_next`.  Transmission times
+are therefore memoized per packet size (cells come in exactly two sizes,
+512 B data and 53 B feedback), the completion/delivery events go through
+the simulator's handle-free fast path, and the callbacks are pre-bound
+methods instead of per-cell closures.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..units import Rate
 from .packet import Packet
@@ -37,22 +44,46 @@ class Link:
     modelled by the sending :class:`Interface`.
     """
 
-    __slots__ = ("rate", "delay", "name")
+    __slots__ = ("_rate", "delay", "name", "_tx_times")
 
     def __init__(self, rate: Rate, delay: float, name: str = "") -> None:
         if delay < 0:
             raise ValueError("propagation delay must be non-negative, got %r" % delay)
-        self.rate = rate
+        self._rate = rate
         self.delay = float(delay)
         self.name = name
+        #: size -> serialization time memo.  Traffic is dominated by two
+        #: packet sizes (data cell, feedback cell), so this stays tiny
+        #: and turns a division per cell into a dict hit.
+        self._tx_times: Dict[int, float] = {}
+
+    @property
+    def rate(self) -> Rate:
+        """The link's transmission rate; assignable mid-simulation."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, rate: Rate) -> None:
+        # Dynamic-conditions experiments retune links mid-run
+        # (set_duplex_rate); the memoized serialization times must not
+        # outlive the rate they were computed from.
+        self._rate = rate
+        self._tx_times = {}
+
+    def transmission_time_for(self, size: int) -> float:
+        """Serialization time of *size* bytes on this link (memoized)."""
+        time = self._tx_times.get(size)
+        if time is None:
+            time = self._tx_times[size] = self._rate.transmission_time(size)
+        return time
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialization time of *packet* on this link."""
-        return self.rate.transmission_time(packet.size)
+        return self.transmission_time_for(packet.size)
 
     def one_way_time(self, packet: Packet) -> float:
         """Serialization plus propagation for *packet* (unloaded link)."""
-        return self.transmission_time(packet) + self.delay
+        return self.transmission_time_for(packet.size) + self.delay
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Link %s %s delay=%.4fs>" % (self.name or "?", self.rate, self.delay)
@@ -86,6 +117,10 @@ class Interface:
         self._busy = False
         self.packets_sent = 0
         self.bytes_sent = 0
+        # Bound methods allocated once here instead of once per cell in
+        # the transmit loop.
+        self._on_tx_complete = self._transmission_complete
+        self._on_deliver = self._deliver
 
     # ------------------------------------------------------------------
 
@@ -129,21 +164,31 @@ class Interface:
             self._busy = False
             return
         self._busy = True
-        tx_time = self.link.transmission_time(packet)
+        link = self.link
+        tx_time = link.transmission_time_for(packet.size)
         self.packets_sent += 1
         self.bytes_sent += packet.size
         # One-shot hook: fires when serialization begins at the first
         # link the packet traverses.  The Tor layer uses it to issue
         # feedback at the moment a cell is *actually forwarded* onto
         # the wire (queueing in this interface included), which is the
-        # paper's feedback semantics.
-        on_tx_start = packet.metadata.pop("on_tx_start", None)
-        if on_tx_start is not None:
-            on_tx_start()
+        # paper's feedback semantics.  The slotted hook is the fast
+        # path; a hook stashed under metadata["on_tx_start"] (the
+        # pre-slot spelling) still works for ad-hoc tracing.
+        hook = packet.on_tx_start
+        if hook is not None:
+            packet.on_tx_start = None
+            hook(packet.on_tx_start_arg)
+        elif packet._trace is not None:
+            legacy = packet._trace.pop("on_tx_start", None)
+            if legacy is not None:
+                legacy()
         # The transmitter frees up when serialization completes; the
-        # packet arrives one propagation delay later.
-        self._sim.schedule(tx_time, self._transmission_complete)
-        self._sim.schedule(tx_time + self.link.delay, self._deliver, packet)
+        # packet arrives one propagation delay later.  Neither event is
+        # ever cancelled, so both take the handle-free fast path.
+        sim = self._sim
+        sim.schedule_fast(tx_time, self._on_tx_complete)
+        sim.schedule_fast(tx_time + link.delay, self._on_deliver, packet)
 
     def _transmission_complete(self) -> None:
         self._busy = False
@@ -151,7 +196,7 @@ class Interface:
             self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
-        packet.note_hop()
+        packet.hops += 1
         assert self.peer is not None  # checked in send()
         self.peer.deliver(packet, self)
 

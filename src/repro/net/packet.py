@@ -5,15 +5,17 @@ reproduction a packet usually carries exactly one Tor cell (see
 :mod:`repro.tor.cells`) as its payload; the link layer only looks at the
 size, source and destination.
 
-Packets carry a small metadata dictionary for tracing (enqueue
-timestamps, hop counts).  Metadata never influences forwarding — it
-exists for measurement only, mirroring how nstor attaches ns-3 tags.
+The per-packet state the forwarding path actually reads is slotted
+(:attr:`Packet.hops`, :attr:`Packet.on_tx_start`) so that moving a cell
+across a link allocates no dictionaries.  A metadata dict for ad-hoc
+tracing still exists — mirroring how nstor attaches ns-3 tags — but is
+created lazily on first access and never influences forwarding.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["Packet"]
 
@@ -34,7 +36,8 @@ class Packet:
         drives static routing (:mod:`repro.net.routing`).
     """
 
-    __slots__ = ("uid", "size", "payload", "src", "dst", "created_at", "metadata")
+    __slots__ = ("uid", "size", "payload", "src", "dst", "created_at",
+                 "hops", "on_tx_start", "on_tx_start_arg", "_trace")
 
     def __init__(
         self,
@@ -52,15 +55,31 @@ class Packet:
         self.src = src
         self.dst = dst
         self.created_at = created_at
-        self.metadata: Dict[str, Any] = {}
+        #: Number of links traversed so far (slotted; see hop_count()).
+        self.hops = 0
+        #: One-shot hook fired when serialization begins at the first
+        #: link this packet traverses; called as ``on_tx_start(arg)``
+        #: with :attr:`on_tx_start_arg`.  Slotted so the Tor feedback
+        #: path needs no per-cell closure or dict entry.
+        self.on_tx_start: Optional[Callable[[Any], None]] = None
+        self.on_tx_start_arg: Any = None
+        self._trace: Optional[Dict[str, Any]] = None
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Lazy tracing dict (measurement only, never forwarding state)."""
+        trace = self._trace
+        if trace is None:
+            trace = self._trace = {}
+        return trace
 
     def hop_count(self) -> int:
         """Number of links this packet has traversed so far."""
-        return int(self.metadata.get("hops", 0))
+        return self.hops
 
     def note_hop(self) -> None:
         """Record one more traversed link (called by the link layer)."""
-        self.metadata["hops"] = self.hop_count() + 1
+        self.hops += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Packet #%d %s->%s %dB %r>" % (

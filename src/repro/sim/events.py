@@ -12,6 +12,20 @@ the simulator:
   of rebuilding the heap; the queue discards dead entries lazily when
   they surface.  Timers that are rescheduled often (retransmission
   timers, idle timeouts) stay O(log n).
+
+Two scheduling paths share one queue (and one sequence counter, so FIFO
+ordering holds *across* paths):
+
+* the **handle path** (:meth:`EventQueue.push`) returns an
+  :class:`EventHandle` that can be cancelled — for timers;
+* the **fast path** (:meth:`EventQueue.push_fast`) stores a plain
+  ``(time, seq, callback, args)`` tuple with no handle object at all —
+  for the ~95% of events that are never cancelled (transmission
+  completions, deliveries, feedback).  On the per-cell hot path this
+  saves one object allocation and its bookkeeping per event.
+
+Both paths are exercised by the hypothesis property tests in
+``tests/test_sim_events.py``.
 """
 
 from __future__ import annotations
@@ -33,7 +47,8 @@ class EventHandle:
     handle is inert.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired",
+                 "_queue")
 
     def __init__(
         self,
@@ -41,6 +56,7 @@ class EventHandle:
         seq: int,
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -48,6 +64,10 @@ class EventHandle:
         self.args = args
         self._cancelled = False
         self._fired = False
+        # Back-reference to the owning queue while the handle is live in
+        # its heap, so cancel() keeps the live count honest no matter
+        # whether it is called directly or via Simulator.cancel().
+        self._queue = queue
 
     @property
     def cancelled(self) -> bool:
@@ -69,11 +89,17 @@ class EventHandle:
 
         Returns ``True`` if the event was pending and is now cancelled,
         ``False`` if it had already fired or been cancelled.  Cancelling
-        is idempotent and never raises.
+        is idempotent and never raises.  The owning queue's live count
+        is updated here, so ``EventHandle.cancel()`` and
+        ``Simulator.cancel(handle)`` agree on the accounting.
         """
         if not self.pending:
             return False
         self._cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_handle_cancelled()
         # Drop references so cancelled timers do not pin large object
         # graphs (packets, transports) until they surface in the heap.
         self.callback = _noop
@@ -94,17 +120,25 @@ def _noop(*_args: Any) -> None:
 
 
 class EventQueue:
-    """Min-heap of :class:`EventHandle` ordered by ``(time, seq)``.
+    """Min-heap of pending events ordered by ``(time, seq)``.
 
-    The queue itself knows nothing about simulated time; the simulator
-    validates times before pushing.  This split keeps the heap logic
-    independently testable (including with hypothesis).
+    Heap entries come in two shapes that share one sequence counter:
+
+    * ``(time, seq, EventHandle)`` — cancellable, from :meth:`push`;
+    * ``(time, seq, callback, args)`` — handle-free, from
+      :meth:`push_fast`.
+
+    ``(time, seq)`` is unique per entry, so heap comparisons never reach
+    the third element and the two shapes mix freely.  The queue itself
+    knows nothing about simulated time; the simulator validates times
+    before pushing.  This split keeps the heap logic independently
+    testable (including with hypothesis).
     """
 
     __slots__ = ("_heap", "_counter", "_live")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._heap: List[Tuple[Any, ...]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -124,10 +158,28 @@ class EventQueue:
         """Schedule *callback(\\*args)* at absolute *time*; return its handle."""
         if time != time:  # NaN check without importing math
             raise SchedulingError("event time must not be NaN")
-        handle = EventHandle(time, next(self._counter), callback, args)
+        handle = EventHandle(time, next(self._counter), callback, args, self)
         heapq.heappush(self._heap, (time, handle.seq, handle))
         self._live += 1
         return handle
+
+    def push_fast(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule *callback(\\*args)* at absolute *time*, handle-free.
+
+        The fast path for events that are never cancelled: no
+        :class:`EventHandle` is allocated, only the heap tuple itself.
+        FIFO-within-timestamp ordering against :meth:`push` events is
+        preserved because both paths draw from the same counter.
+        """
+        if time != time:
+            raise SchedulingError("event time must not be NaN")
+        heapq.heappush(self._heap, (time, next(self._counter), callback, args))
+        self._live += 1
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when empty."""
@@ -139,36 +191,73 @@ class EventQueue:
     def pop(self) -> EventHandle:
         """Remove and return the next live event.
 
+        Fast-path entries are wrapped in a fresh (already detached)
+        :class:`EventHandle` so callers see one uniform type; the
+        simulator's hot loop bypasses this via :meth:`pop_callback`.
+
         Raises :class:`IndexError` when no live events remain (mirrors
         :meth:`list.pop` semantics, callers check :func:`len` first).
         """
         self._drop_dead()
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        __, __, handle = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
         self._live -= 1
+        if len(entry) == 4:
+            return EventHandle(entry[0], entry[1], entry[2], entry[3])
+        handle = entry[2]
+        handle._queue = None
         return handle
 
-    def note_cancelled(self) -> None:
-        """Inform the queue a previously pushed handle was cancelled.
+    def pop_callback(self) -> Tuple[float, Callable[..., Any], Tuple[Any, ...]]:
+        """Remove the next live event; return ``(time, callback, args)``.
 
-        The simulator calls this from its ``cancel`` wrapper so that
-        ``len(queue)`` keeps reflecting only live events.
+        The allocation-free variant of :meth:`pop` used by the event
+        loop: no wrapper handle is created for fast-path entries, and
+        handle-path entries are marked fired here so the caller can
+        invoke the callback directly.
         """
-        if self._live > 0:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                self._live -= 1
+                return entry[0], entry[2], entry[3]
+            handle = entry[2]
+            if handle._cancelled:
+                continue  # dead entry surfacing; already uncounted
             self._live -= 1
+            handle._queue = None
+            handle._fired = True
+            return entry[0], handle.callback, handle.args
+        raise IndexError("pop from empty event queue")
+
+    def note_cancelled(self) -> None:
+        """Deprecated no-op, kept for backward compatibility.
+
+        Live-count bookkeeping moved into :meth:`EventHandle.cancel`
+        itself (the handle knows its queue), so cancelling through the
+        handle and through :meth:`Simulator.cancel` agree without the
+        caller having to notify the queue.
+        """
 
     def clear(self) -> int:
         """Drop every pending event; return how many live ones were dropped."""
         dropped = self._live
-        for __, __, handle in self._heap:
-            handle.cancel()
+        for entry in self._heap:
+            if len(entry) == 3:
+                entry[2].cancel()
         self._heap.clear()
         self._live = 0
         return dropped
 
+    def _note_handle_cancelled(self) -> None:
+        """One live handle entry in the heap was cancelled."""
+        if self._live > 0:
+            self._live -= 1
+
     def _drop_dead(self) -> None:
         """Discard cancelled entries sitting at the top of the heap."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and len(heap[0]) == 3 and heap[0][2]._cancelled:
             heapq.heappop(heap)

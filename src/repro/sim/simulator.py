@@ -5,11 +5,21 @@ and provides the scheduling API every other subsystem builds on:
 
 * :meth:`Simulator.schedule` — run a callback after a relative delay;
 * :meth:`Simulator.schedule_at` — run a callback at an absolute time;
+* :meth:`Simulator.schedule_fast` — like :meth:`schedule`, but without
+  allocating a cancellable :class:`~repro.sim.events.EventHandle`; the
+  per-cell hot path (transmission completions, deliveries, feedback)
+  uses this;
 * :meth:`Simulator.call_soon` — run a callback at the current instant,
   after the currently executing event (FIFO);
 * :meth:`Simulator.run` / :meth:`run_until` / :meth:`run_for` — drive
   the event loop;
 * :meth:`Simulator.stop` — halt the loop from inside a callback.
+
+The fast-path contract: ``schedule_fast`` events cannot be cancelled
+and return no handle, but fire with exactly the same deterministic
+(time, seq) FIFO ordering as ``schedule`` events — both draw from one
+sequence counter, so mixing the two paths never reorders simultaneous
+events.
 
 The simulator replaces ns-3 as the substrate the paper's evaluation ran
 on (see DESIGN.md §5): CircuitStart's behaviour depends only on event
@@ -18,7 +28,8 @@ timing, which a calendar-queue DES reproduces exactly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from heapq import heappop
+from typing import Any, Callable, Optional
 
 from .errors import ClockError, SchedulingError
 from .events import EventHandle, EventQueue
@@ -84,6 +95,20 @@ class Simulator:
             raise SchedulingError("delay must be non-negative, got %r" % delay)
         return self._queue.push(self._now + delay, callback, args)
 
+    def schedule_fast(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Schedule *callback(\\*args)* after *delay* seconds, handle-free.
+
+        The hot-path variant of :meth:`schedule` for events that are
+        never cancelled: no :class:`EventHandle` is allocated and none
+        is returned.  Ordering is identical to :meth:`schedule` — both
+        paths share one (time, seq) counter.
+        """
+        if delay < 0:
+            raise SchedulingError("delay must be non-negative, got %r" % delay)
+        self._queue.push_fast(self._now + delay, callback, args)
+
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
     ) -> EventHandle:
@@ -104,11 +129,12 @@ class Simulator:
         return self._queue.push(self._now, callback, args)
 
     def cancel(self, handle: EventHandle) -> bool:
-        """Cancel *handle*; return whether it was still pending."""
-        if handle.cancel():
-            self._queue.note_cancelled()
-            return True
-        return False
+        """Cancel *handle*; return whether it was still pending.
+
+        Equivalent to ``handle.cancel()``: the handle itself keeps the
+        queue's live count honest, so both spellings agree.
+        """
+        return handle.cancel()
 
     # ------------------------------------------------------------------
     # Event loop
@@ -121,14 +147,19 @@ class Simulator:
     def run_until(self, time: float, max_events: Optional[int] = None) -> None:
         """Run events with timestamps <= *time*, then set the clock to *time*.
 
-        Events scheduled exactly at *time* do fire.  The clock always
-        ends at *time* even if the queue drained earlier, so subsequent
-        ``run_until`` calls compose naturally.
+        Events scheduled exactly at *time* do fire.  The clock ends at
+        *time* when the loop ran to completion (queue drained or only
+        later events remain), so subsequent ``run_until`` calls compose
+        naturally.  When the loop halts early — :meth:`stop` or
+        *max_events* — the clock stays at the last executed event:
+        advancing it past still-pending events would make those events
+        "in the past" and raise a spurious :class:`ClockError` on the
+        next run.
         """
         if time < self._now:
             raise ClockError("cannot run until %r, already at %r" % (time, self._now))
-        self._run_loop(until=time, max_events=max_events)
-        if not self._stop_requested:
+        completed = self._run_loop(until=time, max_events=max_events)
+        if completed:
             self._now = max(self._now, time)
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
@@ -152,37 +183,72 @@ class Simulator:
     # Internals
     # ------------------------------------------------------------------
 
-    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> bool:
+        """Drive the loop; return whether it ran to completion.
+
+        ``True`` means the queue drained or only events beyond *until*
+        remain; ``False`` means :meth:`stop` or *max_events* halted it
+        with eligible events still pending.
+        """
         if self._running:
             raise SchedulingError("simulator loop is not reentrant")
         self._running = True
         self._stop_requested = False
         executed = 0
+        # The loop body is deliberately inlined (no peek/pop method
+        # pair, locals for the heap and queue): it runs once per event
+        # and dominates engine throughput.
+        queue = self._queue
+        heap = queue._heap
+        completed = True
         try:
-            while self._queue:
+            while heap:
                 if self._stop_requested:
+                    completed = False
                     break
                 if max_events is not None and executed >= max_events:
+                    completed = False
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                entry = heap[0]
+                if len(entry) == 3 and entry[2]._cancelled:
+                    heappop(heap)  # dead entry surfacing; already uncounted
+                    continue
+                event_time = entry[0]
+                if until is not None and event_time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self._execute_next()
+                if event_time < self._now:
+                    raise ClockError(
+                        "event at %r is in the past (now %r)"
+                        % (event_time, self._now)
+                    )
+                heappop(heap)
+                queue._live -= 1
+                self._now = event_time
+                self._events_executed += 1
                 executed += 1
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                else:
+                    handle = entry[2]
+                    handle._queue = None
+                    handle._fired = True
+                    handle.callback(*handle.args)
         finally:
             self._running = False
+        # A stop() issued by the final event exits via the loop
+        # condition without hitting the in-loop check; it must still
+        # count as an early halt (run_until leaves the clock alone).
+        return completed and not self._stop_requested
 
     def _execute_next(self) -> None:
-        handle = self._queue.pop()
-        if handle.time < self._now:
+        time, callback, args = self._queue.pop_callback()
+        if time < self._now:
             raise ClockError(
-                "event at %r is in the past (now %r)" % (handle.time, self._now)
+                "event at %r is in the past (now %r)" % (time, self._now)
             )
-        self._now = handle.time
+        self._now = time
         self._events_executed += 1
-        handle._fire()
+        callback(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Simulator now=%.6f pending=%d executed=%d>" % (

@@ -186,23 +186,37 @@ class TorHost:
         controller: WindowController,
     ) -> HopSender:
         label = "c%d:%s->%s" % (state.circuit_id, self.node.name, state.next_hop)
+        node = self.node
+        node_name = node.name
+        next_hop = state.next_hop
+        sim = self.sim
+
+        def feedback_hook(acked_seq: Any) -> None:
+            # A relay acknowledges the upstream copy the moment it
+            # forwards the cell toward its successor — i.e. when the
+            # cell's serialization onto the egress wire begins, *after*
+            # any time spent in the egress queue.  The predecessor's
+            # RTT therefore measures this relay's real backlog, which
+            # is the signal CircuitStart's Vegas detector relies on.
+            self._send_feedback(state, acked_seq)
 
         def transmit(cell: Cell, token: Any) -> None:
             self.cells_forwarded += 1
-            packet = self._make_packet(cell, state.next_hop)
+            packet = Packet(
+                cell.size,
+                payload=cell,
+                src=node_name,
+                dst=next_hop,
+                created_at=sim.now,
+            )
             if token is not None and state.prev_hop is not None:
-                # A relay acknowledges the upstream copy the moment it
-                # forwards the cell toward its successor — i.e. when
-                # the cell's serialization onto the egress wire begins,
-                # *after* any time spent in the egress queue.  The
-                # predecessor's RTT therefore measures this relay's
-                # real backlog, which is the signal CircuitStart's
-                # Vegas detector relies on.
-                acked_seq = token
-                packet.metadata["on_tx_start"] = (
-                    lambda: self._send_feedback(state, acked_seq)
-                )
-            self.node.send(packet)
+                # One closure per *sender* (above), one slot write per
+                # cell: the upstream sequence number rides in the
+                # packet's on_tx_start_arg slot instead of a fresh
+                # lambda plus metadata dict entry per cell.
+                packet.on_tx_start = feedback_hook
+                packet.on_tx_start_arg = token
+            node.send(packet)
 
         return HopSender(self.sim, config, controller, transmit, label=label)
 

@@ -77,6 +77,9 @@ class HopSender:
         self.controller = controller
         self.label = label
         self._transmit = transmit
+        # config is frozen; caching the flag keeps the per-cell paths
+        # free of dataclass attribute chains.
+        self._reliable = config.reliable
         self._buffer: Deque[Tuple[Any, Any]] = deque()
         self._send_times: Dict[int, float] = {}
         self._next_seq = 0
@@ -160,7 +163,7 @@ class HopSender:
         now = self.sim.now
         self._send_times[seq] = now
         self.cells_sent += 1
-        if self.config.reliable:
+        if self._reliable:
             self._unacked[seq] = (cell, token)
             self._arm_timer()
         self.controller.on_cell_sent(now)
@@ -174,7 +177,7 @@ class HopSender:
         before it moved too); in the default lossless mode it is exact.
         Unknown or repeated sequence numbers are counted and ignored.
         """
-        if self.config.reliable:
+        if self._reliable:
             acked = sorted(s for s in self._send_times if s <= seq)
             if not acked:
                 self.duplicate_feedback += 1
@@ -194,12 +197,17 @@ class HopSender:
 
     def _complete_one(self, seq: int) -> None:
         sent_at = self._send_times.pop(seq)
-        self._unacked.pop(seq, None)
         now = self.sim.now
         self.feedback_received += 1
-        # Karn's rule: retransmitted cells yield no RTT sample.
-        sampled = seq not in self._retransmitted
-        self._retransmitted.discard(seq)
+        if self._reliable:
+            self._unacked.pop(seq, None)
+            # Karn's rule: retransmitted cells yield no RTT sample.
+            sampled = seq not in self._retransmitted
+            self._retransmitted.discard(seq)
+        else:
+            # Without per-hop reliability nothing is ever retransmitted,
+            # so skip the go-back-N bookkeeping entirely on this path.
+            sampled = True
         self.controller.on_feedback(now - sent_at, now, sampled=sampled)
 
     # ------------------------------------------------------------------

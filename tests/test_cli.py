@@ -92,3 +92,74 @@ def test_ablations_command(capsys):
     assert code == 0
     for marker in ("A1", "A2", "A3", "A4"):
         assert marker in out
+
+
+def test_list_includes_netscale(capsys):
+    code = main(["list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "netscale" in out
+
+
+def _write_specs(tmp_path, jobs):
+    import json
+
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(jobs))
+    return str(path)
+
+
+def test_batch_dry_run_valid_file(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "optimal"},
+        {"experiment": "netscale", "spec": {"circuit_count": 5},
+         "label": "tiny"},
+    ])
+    code = main(["batch", path, "--dry-run"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "all 2 jobs valid" in captured.out
+    assert "netscale NetScaleConfig [tiny] ok" in captured.out
+
+
+def test_batch_dry_run_runs_nothing(tmp_path, capsys):
+    # A netscale job this size would take minutes; the dry run must
+    # return immediately because it only decodes the spec.
+    path = _write_specs(tmp_path, [
+        {"experiment": "netscale", "spec": {"circuit_count": 5000}},
+    ])
+    code = main(["batch", path, "--dry-run"])
+    assert code == 0
+
+
+def test_batch_dry_run_reports_unknown_experiment(tmp_path, capsys):
+    path = _write_specs(tmp_path, [{"experiment": "teleport"}])
+    code = main(["batch", path, "--dry-run"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown experiment 'teleport'" in captured.err
+    assert "1 of 1 jobs invalid" in captured.err
+
+
+def test_batch_dry_run_reports_unknown_field(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "trace", "spec": {"duratoin": 0.2}},
+        {"experiment": "optimal"},
+    ])
+    code = main(["batch", path, "--dry-run"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no field(s) 'duratoin'" in captured.err
+    assert "job 1: optimal OptimalConfig ok" in captured.out
+    assert "1 of 2 jobs invalid" in captured.err
+
+
+def test_netscale_command_small(capsys):
+    code = main([
+        "netscale", "--circuits", "8", "--relays", "8",
+        "--bulk-payload-kib", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Network scale" in out
+    assert "median TTLB improvement" in out

@@ -35,6 +35,7 @@ EXPECTED_NAMES = [
     "friendliness",
     "interactive",
     "optimal",
+    "netscale",
 ]
 
 
@@ -78,6 +79,16 @@ def fast_spec(name):
                                  controller_kinds=("circuitstart",))
     if name == "optimal":
         return OptimalConfig()
+    if name == "netscale":
+        from repro.experiments.netscale import NetScaleConfig
+
+        return NetScaleConfig(
+            circuit_count=6,
+            bulk_payload_bytes=kib(60),
+            interactive_payload_bytes=kib(10),
+            network=NetworkConfig(relay_count=8, client_count=6,
+                                  server_count=6),
+        )
     raise AssertionError("unknown experiment %r" % name)
 
 
@@ -86,7 +97,7 @@ def fast_spec(name):
 # ----------------------------------------------------------------------
 
 
-def test_registry_contains_all_seven_experiments_exactly_once():
+def test_registry_contains_every_experiment_exactly_once():
     names = experiment_names()
     assert names == EXPECTED_NAMES
     assert len(names) == len(set(names))

@@ -1,0 +1,165 @@
+"""Tests for the network-scale experiment (repro.experiments.netscale)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import experiment_names, get_experiment
+from repro.experiments.netgen import NetworkConfig, generate_network
+from repro.experiments.netscale import (
+    BULK,
+    INTERACTIVE,
+    CircuitSample,
+    NetScaleConfig,
+    NetScaleResult,
+    run_netscale_experiment,
+    select_netscale_paths,
+)
+from repro.sim.rand import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.units import kib
+
+
+def small_config(circuits: int = 20) -> NetScaleConfig:
+    """A fast-but-real scenario: many circuits, small payloads."""
+    return NetScaleConfig(
+        circuit_count=circuits,
+        bulk_payload_bytes=kib(80),
+        interactive_payload_bytes=kib(10),
+        network=NetworkConfig(relay_count=10, client_count=10, server_count=10),
+    )
+
+
+@pytest.fixture(scope="module")
+def result() -> NetScaleResult:
+    return run_netscale_experiment(small_config())
+
+
+def test_registered():
+    assert "netscale" in experiment_names()
+    experiment = get_experiment("netscale")
+    assert experiment.spec_type is NetScaleConfig
+    assert experiment.result_type is NetScaleResult
+
+
+def test_twenty_circuit_run_completes(result):
+    for kind in result.config.kinds:
+        assert len(result.samples[kind]) == 20
+        for sample in result.samples[kind]:
+            assert sample.time_to_last_byte > 0
+            assert sample.time_to_first_byte > 0
+            assert sample.goodput_bytes_per_second > 0
+
+
+def test_every_circuit_crosses_the_bottleneck(result):
+    for kind in result.config.kinds:
+        for sample in result.samples[kind]:
+            assert sample.relays.count(result.bottleneck_relay) == 1
+
+
+def test_workload_mix_present_and_identical_across_kinds(result):
+    with_kind, without_kind = result.config.kinds
+    workloads = [s.workload for s in result.samples[with_kind]]
+    assert set(workloads) == {BULK, INTERACTIVE}
+    assert workloads == [s.workload for s in result.samples[without_kind]]
+
+
+def test_paths_and_starts_identical_across_kinds(result):
+    with_kind, without_kind = result.config.kinds
+    for a, b in zip(result.samples[with_kind], result.samples[without_kind]):
+        assert a.relays == b.relays
+        assert a.start_time == b.start_time
+        assert a.payload_bytes == b.payload_bytes
+
+
+def test_circuitstart_exits_startup(result):
+    with_kind = result.config.kinds[0]
+    exits = result.startup_durations(with_kind)
+    assert exits, "no circuit ever left start-up"
+    assert all(d >= 0 for d in exits)
+
+
+def test_spec_json_round_trip():
+    config = small_config()
+    rebuilt = NetScaleConfig.from_json(config.to_json())
+    assert rebuilt == config
+
+
+def test_result_json_round_trip(result):
+    data = json.loads(result.to_json())
+    rebuilt = NetScaleResult.from_dict(data)
+    assert rebuilt.to_dict() == result.to_dict()
+    assert rebuilt.bottleneck_relay == result.bottleneck_relay
+    assert isinstance(rebuilt.samples[result.config.kinds[0]][0], CircuitSample)
+
+
+def test_result_analysis_helpers(result):
+    with_kind = result.config.kinds[0]
+    bulk = result.of_workload(with_kind, BULK)
+    interactive = result.of_workload(with_kind, INTERACTIVE)
+    assert len(bulk) + len(interactive) == 20
+    assert result.ttlb_cdf(with_kind).median > 0
+    # Improvement is a finite number either way the comparison lands.
+    assert result.median_improvement(BULK) == result.median_improvement(BULK)
+
+
+def test_events_executed_recorded(result):
+    for kind in result.config.kinds:
+        assert result.events_executed[kind] > 0
+
+
+def test_determinism():
+    config = small_config(circuits=6)
+    a = run_netscale_experiment(config)
+    b = run_netscale_experiment(config)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_select_paths_forces_bottleneck_middle():
+    config = small_config()
+    streams = RandomStreams(config.seed)
+    network = generate_network(Simulator(), config.network, streams)
+    bottleneck = network.relay_names[0]
+    paths = select_netscale_paths(
+        config, streams, network.directory, bottleneck
+    )
+    assert len(paths) == config.circuit_count
+    for path in paths:
+        assert len(path) == config.hops
+        assert path[config.hops // 2] == bottleneck
+        assert len(set(path)) == len(path)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NetScaleConfig(circuit_count=0)
+    with pytest.raises(ValueError):
+        NetScaleConfig(bulk_fraction=1.5)
+    with pytest.raises(ValueError):
+        NetScaleConfig(
+            hops=4,
+            network=NetworkConfig(relay_count=3, client_count=3, server_count=3),
+        )
+
+
+def test_render_mentions_bottleneck(result):
+    text = get_experiment("netscale").render(result)
+    assert result.bottleneck_relay in text
+    assert "median TTLB improvement" in text
+
+
+def test_render_with_single_workload_class():
+    """bulk_fraction=1.0 is a legal config; render must not crash on
+    the empty interactive class."""
+    config = NetScaleConfig(
+        circuit_count=4,
+        bulk_fraction=1.0,
+        bulk_payload_bytes=kib(40),
+        network=NetworkConfig(relay_count=8, client_count=4, server_count=4),
+    )
+    result = run_netscale_experiment(config)
+    text = get_experiment("netscale").render(result)
+    assert BULK in text
+    assert "median TTLB improvement" in text

@@ -118,6 +118,91 @@ def test_clear_cancels_everything():
     assert all(h.cancelled for h in handles)
 
 
+def test_fast_path_push_and_pop():
+    q = EventQueue()
+    q.push_fast(2.0, lambda: None)
+    q.push_fast(1.0, lambda: None)
+    assert len(q) == 2
+    assert q.peek_time() == 1.0
+    assert [q.pop().time for __ in range(2)] == [1.0, 2.0]
+    assert not q
+
+
+def test_fast_path_pop_wraps_in_detached_handle():
+    q = EventQueue()
+    out = []
+    q.push_fast(1.0, out.append, ("x",))
+    handle = q.pop()
+    assert handle.pending
+    handle._fire()
+    assert out == ["x"]
+
+
+def test_fast_path_nan_rejected():
+    q = EventQueue()
+    with pytest.raises(SchedulingError):
+        q.push_fast(float("nan"), lambda: None)
+
+
+def test_fast_and_handle_paths_share_fifo_order():
+    q = EventQueue()
+    q.push(1.0, lambda: None, ("a",))
+    q.push_fast(1.0, lambda: None, ("b",))
+    q.push(1.0, lambda: None, ("c",))
+    q.push_fast(1.0, lambda: None, ("d",))
+    assert [q.pop().args[0] for __ in range(4)] == ["a", "b", "c", "d"]
+
+
+def test_pop_callback_returns_raw_triples():
+    q = EventQueue()
+    out = []
+    q.push_fast(1.0, out.append, ("fast",))
+    handle = q.push(2.0, out.append, ("handle",))
+    time, callback, args = q.pop_callback()
+    assert (time, args) == (1.0, ("fast",))
+    callback(*args)
+    time, callback, args = q.pop_callback()
+    assert (time, args) == (2.0, ("handle",))
+    assert handle.fired  # marked before the caller even invokes it
+    with pytest.raises(IndexError):
+        q.pop_callback()
+
+
+def test_direct_handle_cancel_updates_live_count():
+    """EventHandle.cancel() alone must keep len(queue) honest (no
+    Simulator.cancel / note_cancelled call needed)."""
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(4)]
+    handles[0].cancel()
+    assert len(q) == 3
+    # The legacy queue notification is now a no-op, so the old
+    # cancel-then-notify spelling does not double-count.
+    q.note_cancelled()
+    assert len(q) == 3
+    assert q.pop() is handles[1]
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    q = EventQueue()
+    handle = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.pop() is handle
+    assert len(q) == 1
+    assert handle.cancel()  # popped but unfired: cancellable, but the
+    assert len(q) == 1      # queue no longer owns it
+    assert q.clear() == 1
+
+
+def test_clear_with_mixed_paths():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push_fast(2.0, lambda: None)
+    q.push(3.0, lambda: None)
+    assert q.clear() == 3
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
 def test_property_pop_order_is_sorted(times):
     q = EventQueue()
@@ -156,10 +241,95 @@ def test_property_cancelled_never_pop(times, cancel_indices):
     cancelled = set()
     for i in cancel_indices:
         if i < len(handles) and handles[i].cancel():
-            q.note_cancelled()
             cancelled.add(handles[i])
     survivors = []
     while q:
         survivors.append(q.pop())
     assert not (set(survivors) & cancelled)
     assert len(survivors) == len(handles) - len(cancelled)
+
+
+# ----------------------------------------------------------------------
+# Property tests over arbitrary interleavings of both scheduling paths.
+#
+# Operations are interpreted against a simple reference model: a list of
+# (time, seq, tag) entries sorted by (time, seq).  The queue must agree
+# with the model on length and on the exact (time, seq)-stable order of
+# everything that pops — for handle events, fast events, cancellations
+# and clears in any interleaving.
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "push_fast", "pop", "cancel", "clear"]),
+        st.sampled_from([0.0, 1.0, 2.0, 3.0]),
+        st.integers(0, 999),
+    ),
+    max_size=120,
+)
+
+
+@given(_ops)
+def test_property_mixed_paths_order_and_accounting(ops):
+    q = EventQueue()
+    model = []      # live entries: (time, seq, tag)
+    handles = {}    # seq -> handle (handle-path entries only)
+    popped_queue = []
+    popped_model = []
+    seq = 0
+
+    for op, time, tag in ops:
+        if op == "push":
+            handles[seq] = q.push(time, lambda: None, (tag,))
+            model.append((time, seq, tag))
+            seq += 1
+        elif op == "push_fast":
+            q.push_fast(time, lambda: None, (tag,))
+            model.append((time, seq, tag))
+            seq += 1
+        elif op == "pop":
+            if model:
+                popped_queue.append(q.pop().args[0])
+                model.sort()
+                popped_model.append(model.pop(0)[2])
+            else:
+                with pytest.raises(IndexError):
+                    q.pop()
+        elif op == "cancel":
+            # Cancel the live handle-path event selected by `tag`.
+            live_handles = [
+                s for (__, s, __t) in model if s in handles
+            ]
+            if live_handles:
+                chosen = live_handles[tag % len(live_handles)]
+                assert handles[chosen].cancel()
+                model = [e for e in model if e[1] != chosen]
+        elif op == "clear":
+            assert q.clear() == len(model)
+            model = []
+        assert len(q) == len(model)
+        assert bool(q) == bool(model)
+
+    assert popped_queue == popped_model
+    model.sort()
+    drained = [q.pop().args[0] for __ in range(len(model))]
+    assert drained == [tag for (__, __s, tag) in model]
+    assert not q
+
+
+@given(_ops)
+def test_property_peek_time_matches_next_pop(ops):
+    q = EventQueue()
+    live = 0
+    for op, time, tag in ops:
+        if op in ("push", "push_fast"):
+            getattr(q, "push" if op == "push" else "push_fast")(
+                time, lambda: None, (tag,)
+            )
+            live += 1
+        elif op == "pop" and live:
+            q.pop()
+            live -= 1
+    while q:
+        expected = q.peek_time()
+        assert q.pop().time == expected

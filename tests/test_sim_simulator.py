@@ -167,6 +167,105 @@ def test_events_executed_counter(sim):
     assert sim.events_executed == 4
 
 
+def test_schedule_fast_runs_like_schedule(sim):
+    fired = []
+    sim.schedule_fast(2.0, fired.append, "b")
+    sim.schedule_fast(1.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 2.0
+    assert sim.events_executed == 2
+
+
+def test_schedule_fast_returns_no_handle(sim):
+    assert sim.schedule_fast(1.0, lambda: None) is None
+
+
+def test_schedule_fast_negative_delay_rejected(sim):
+    with pytest.raises(SchedulingError):
+        sim.schedule_fast(-0.1, lambda: None)
+
+
+def test_mixed_paths_preserve_fifo_at_same_instant(sim):
+    """The fast-path contract: schedule and schedule_fast share one
+    sequence counter, so simultaneous events fire in schedule order."""
+    order = []
+    sim.schedule(1.0, order.append, "h1")
+    sim.schedule_fast(1.0, order.append, "f1")
+    sim.schedule(1.0, order.append, "h2")
+    sim.schedule_fast(1.0, order.append, "f2")
+    sim.run()
+    assert order == ["h1", "f1", "h2", "f2"]
+
+
+def test_fast_events_can_schedule_more_fast_events(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule_fast(1.0, chain, n + 1)
+
+    sim.schedule_fast(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_executes_fast_events(sim):
+    fired = []
+    sim.schedule_fast(1.0, fired.append, 1)
+    assert sim.step()
+    assert fired == [1]
+    assert not sim.step()
+
+
+def test_direct_handle_cancel_agrees_with_simulator(sim):
+    """Cancelling via the handle (not Simulator.cancel) must keep
+    pending_events and the loop's idea of liveness in sync."""
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.cancel()
+    assert sim.pending_events == 0
+    assert not sim.cancel(handle)  # idempotent across both spellings
+    assert sim.pending_events == 0
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_with_max_events_keeps_pending_events_runnable(sim):
+    """run_until must not advance the clock past events it did not get
+    to execute (max_events), or the next run would raise ClockError."""
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run_until(10.0, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2.0  # clock parked at the last executed event
+    assert sim.pending_events == 3
+    sim.run_until(10.0)  # must not raise a spurious ClockError
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 10.0
+
+
+def test_run_until_stop_from_final_event_keeps_clock(sim):
+    """A stop() issued by the last queued event must not let run_until
+    advance the clock to the target (pre-fast-path behaviour)."""
+    sim.schedule(1.0, sim.stop)
+    sim.run_until(5.0)
+    assert sim.now == 1.0
+
+
+def test_run_until_after_stop_keeps_clock_at_stop_point(sim):
+    fired = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, fired.append, "later")
+    sim.run_until(5.0)
+    assert sim.now == 1.0
+    sim.run_until(5.0)
+    assert fired == ["later"]
+    assert sim.now == 5.0
+
+
 def test_loop_not_reentrant(sim):
     def naughty():
         sim.run()
