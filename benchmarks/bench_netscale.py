@@ -7,6 +7,13 @@ engine fast path exists for — the asserted shape doubles as a
 regression check that CircuitStart's benefit survives systemic (not
 just incidental) contention.
 
+Two companion benchmarks exercise the scenario layer itself:
+
+* a **churn** run (open-loop re-arrivals + departures + utilization
+  probe), tracking the cost of the steady-state regime;
+* a **plan-cache** timing pair: the same spec planned cold vs warm,
+  so the scenario cache's speedup lands in the ``bench-*`` artifacts.
+
 Run:  pytest benchmarks/bench_netscale.py --benchmark-only
 """
 
@@ -17,6 +24,7 @@ from repro.experiments.netscale import (
     NetScaleConfig,
     run_netscale_experiment,
 )
+from repro.scenario import OpenLoopChurn, PlanCache, UtilizationProbe, plan_scenario
 
 
 def test_netscale_shared_bottleneck(benchmark, save_artifact):
@@ -39,3 +47,50 @@ def test_netscale_shared_bottleneck(benchmark, save_artifact):
         "netscale_bottleneck.txt",
         get_experiment("netscale").render(result),
     )
+
+
+def _churn_config() -> NetScaleConfig:
+    return NetScaleConfig(
+        circuit_count=40,
+        churn=OpenLoopChurn(start_window=2.0, arrival_rate=4.0, horizon=6.0),
+        probes=(UtilizationProbe(interval=0.25),),
+    )
+
+
+def test_netscale_churn_steady_state(benchmark, save_artifact):
+    config = _churn_config()
+    result = benchmark.pedantic(
+        run_netscale_experiment, args=(config,), rounds=1, iterations=1
+    )
+
+    with_kind = config.kinds[0]
+    samples = result.samples[with_kind]
+    # Churn actually happened: re-arrivals joined and circuits departed.
+    assert any(s.generation > 0 for s in samples)
+    assert all(s.departed_at is not None for s in samples)
+    # The probe surfaced a utilization time series for the bottleneck.
+    (series,) = result.utilization_series(with_kind)
+    assert series.target == result.bottleneck_relay
+    assert len(series.values) > 10
+    # Steady-state circuits exist and carry the usual metrics.
+    steady = result.steady_samples(with_kind)
+    assert steady and all(s.time_to_last_byte > 0 for s in steady)
+
+    from repro.experiments.registry import get_experiment
+
+    save_artifact(
+        "netscale_churn.txt",
+        get_experiment("netscale").render(result),
+    )
+
+
+def test_netscale_plan_cache_speedup(benchmark):
+    """Warm plans must come from the cache, not from re-planning."""
+    scenario = _churn_config().to_scenario()
+    cache = PlanCache()
+    cold_plan = plan_scenario(scenario, cache=cache)  # warm the cache
+
+    warm_plan = benchmark(plan_scenario, scenario, cache=cache)
+
+    assert warm_plan is cold_plan
+    assert cache.plan_hits >= 1 and cache.plan_misses == 1

@@ -4,15 +4,21 @@
 Drives the ``netscale`` experiment end to end: a seeded star network of
 Tor relays, dozens of concurrent circuits (a bulk/interactive mix)
 whose paths all cross the slowest relay, once with CircuitStart and
-once with BackTap's native start-up.  Then sweeps the circuit count
-through the PR-1 batch API to show how the benefit scales with load —
-the sweep is exactly what the engine's allocation-light fast path pays
-for.
+once with BackTap's native start-up.  Then:
 
-The same scenario runs from the shell via::
+* a **churn variant** — open-loop re-arrivals with departures, plus a
+  per-relay utilization probe, so the bottleneck is observed over time
+  at steady state rather than during one start-up wave;
+* a **scale sweep** through the batch API.  All jobs share one
+  ``NetworkConfig``, so after the first job plans, every other job hits
+  the planned-scenario cache (watch the counters it returns).
+
+The same scenarios run from the shell via::
 
     repro netscale --circuits 60 --relays 30
-    repro batch netscale_specs.json --workers 4   # the sweep below
+    repro netscale --circuits 60 --relays 30 --churn 4 --churn-horizon 8
+    repro batch netscale_specs.json --workers 4 --plan   # cost preview
+    repro batch netscale_specs.json --workers 4          # the sweep below
 
 Run:  PYTHONPATH=src python examples/network_scale.py
 """
@@ -23,6 +29,8 @@ from repro import (
     BatchJob,
     NetScaleConfig,
     NetworkConfig,
+    OpenLoopChurn,
+    UtilizationProbe,
     get_experiment,
     kib,
     run_batch,
@@ -31,12 +39,13 @@ from repro import (
 from repro.experiments.netscale import BULK, INTERACTIVE
 
 
-def scenario(circuits: int) -> NetScaleConfig:
+def scenario(circuits: int, **overrides) -> NetScaleConfig:
     return NetScaleConfig(
         circuit_count=circuits,
         bulk_payload_bytes=kib(150),
         interactive_payload_bytes=kib(20),
         network=NetworkConfig(relay_count=16, client_count=16, server_count=16),
+        **overrides,
     )
 
 
@@ -47,13 +56,39 @@ def main() -> None:
     print(get_experiment("netscale").render(result))
     print()
 
+    # --- churn + utilization-over-time variant -------------------------
+    churned = scenario(
+        circuits=30,
+        churn=OpenLoopChurn(start_window=2.0, arrival_rate=4.0, horizon=6.0),
+        probes=(UtilizationProbe(interval=0.25),),
+    )
+    churn_result = run_netscale_experiment(churned)
+    with_kind = churned.kinds[0]
+    steady = churn_result.steady_samples(with_kind)
+    print("Churn: %d circuits total, %d re-arrivals, %d departed, "
+          "%d at steady state" % (
+              len(churn_result.samples[with_kind]),
+              sum(1 for s in churn_result.samples[with_kind]
+                  if s.generation > 0),
+              sum(1 for s in churn_result.samples[with_kind]
+                  if s.departed_at is not None),
+              len(steady)))
+    for series in churn_result.utilization_series(with_kind):
+        print("bottleneck %s utilization: mean %.1f%%, peak %.1f%% "
+              "(%d samples at %.2fs grid)" % (
+                  series.target, 100 * series.mean, 100 * series.peak,
+                  len(series.values), churned.probes[0].interval))
+    print()
+
     # --- scale sweep via the batch API ---------------------------------
+    # Same network in every job -> the planned-scenario cache shares one
+    # NetworkPlan across the sweep (see the counters below).
     counts = (10, 20, 40)
     jobs = [
         BatchJob("netscale", scenario(n), label="circuits=%d" % n)
         for n in counts
     ]
-    batch = run_batch(jobs, workers=2)
+    batch = run_batch(jobs)
 
     print("CircuitStart benefit vs. concurrent load on one bottleneck relay")
     print("%-14s %18s %18s %14s" % (
@@ -67,6 +102,7 @@ def main() -> None:
             sweep_result.median_improvement(INTERACTIVE),
             sweep_result.events_executed[kinds[0]],
         ))
+    print("plan cache over the sweep: %s" % (batch.plan_cache,))
 
 
 if __name__ == "__main__":

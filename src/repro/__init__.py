@@ -85,6 +85,23 @@ from .experiments import (
     run_optimal_experiment,
     run_trace_experiment,
 )
+from .scenario import (
+    BulkWorkload,
+    GeneratedTopology,
+    InteractiveWorkload,
+    NoChurn,
+    OpenLoopChurn,
+    PlanCache,
+    ProbeSeries,
+    QueueDepthProbe,
+    Scenario,
+    ScenarioPlan,
+    ScenarioResult,
+    UtilizationProbe,
+    plan_scenario,
+    run_scenario,
+    spec_hash,
+)
 from .report import generate_report
 from .net import LinkSpec, Topology, build_chain, build_star
 from .sim import RandomStreams, Simulator
@@ -117,6 +134,7 @@ __all__ = [
     "BatchItem",
     "BatchJob",
     "BatchResult",
+    "BulkWorkload",
     "CELL_SIZE",
     "CdfConfig",
     "CdfResult",
@@ -135,23 +153,33 @@ __all__ = [
     "FixedWindowController",
     "FriendlinessConfig",
     "FriendlinessResult",
+    "GeneratedTopology",
     "HopLink",
     "HopSender",
     "InteractiveConfig",
     "InteractiveResult",
+    "InteractiveWorkload",
     "JumpStartController",
     "LinkSpec",
     "NetScaleConfig",
     "NetScaleResult",
     "NetworkConfig",
+    "NoChurn",
+    "OpenLoopChurn",
     "OptimalConfig",
     "OptimalResult",
     "PathSelector",
     "Phase",
     "PlainSlowStartController",
+    "PlanCache",
+    "ProbeSeries",
+    "QueueDepthProbe",
     "RandomStreams",
     "Rate",
     "RelayDescriptor",
+    "Scenario",
+    "ScenarioPlan",
+    "ScenarioResult",
     "Simulator",
     "SpecError",
     "Topology",
@@ -160,6 +188,7 @@ __all__ = [
     "TraceRecorder",
     "TraceResult",
     "TransportConfig",
+    "UtilizationProbe",
     "allocate_circuit_id",
     "backpropagated_window",
     "build_chain",
@@ -177,6 +206,7 @@ __all__ = [
     "mib",
     "milliseconds",
     "optimal_windows",
+    "plan_scenario",
     "register_experiment",
     "run_ablations_experiment",
     "run_batch",
@@ -186,8 +216,10 @@ __all__ = [
     "run_interactive_experiment",
     "run_netscale_experiment",
     "run_optimal_experiment",
+    "run_scenario",
     "run_trace_experiment",
     "seconds",
     "source_optimal_window",
+    "spec_hash",
     "summarize",
 ]

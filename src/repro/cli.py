@@ -13,6 +13,10 @@ On top of the generated subcommands:
 
 * ``repro list``             — enumerate the registered experiments;
 * ``repro batch specs.json`` — run a JSON job file as a (parallel) sweep;
+* ``repro batch --plan``     — validate the file *and* print per-job
+  estimated cost (cells × hops) plus sweep totals, without running;
+* ``repro scenario list``    — enumerate the registered scenario parts
+  (topology sources, workloads, churn processes, probes);
 * ``repro report``           — the full reproduction report;
 * every experiment subcommand accepts ``--json`` to emit the
   serializable result instead of the text rendering.
@@ -68,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="validate the spec file (decode every job, "
                             "report unknown experiments/fields) without "
                             "running anything")
+    batch.add_argument("--plan", action="store_true",
+                       help="like --dry-run, plus per-job estimated cost "
+                            "(cells × hops) and sweep totals, so big "
+                            "sweeps are predictable before launch")
 
     report = sub.add_parser("report", help="full reproduction report")
     report.add_argument("--out", default="-",
@@ -136,8 +144,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not isinstance(data, list) or not data:
         print("batch file %s holds no jobs" % args.specs, file=sys.stderr)
         return 2
-    if args.dry_run:
-        return _dry_run_batch(args.specs, data)
+    if args.dry_run or args.plan:
+        return _dry_run_batch(args.specs, data, plan=args.plan)
     try:
         # run_batch normalizes dicts, bare experiment names, and BatchJobs.
         result = run_batch(data, workers=args.workers,
@@ -152,6 +160,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as error:  # SpecError and config validation
         print(str(error), file=sys.stderr)
         return 2
+    stats = getattr(result, "plan_cache", None)
+    if stats and sum(stats.values()):
+        # Observability only, and to stderr: the JSON on stdout stays
+        # byte-identical whether or not the plan cache was warm.
+        print(
+            "scenario plan cache: %d plan hit(s) / %d miss(es), "
+            "%d network hit(s) / %d miss(es)"
+            % (stats.get("plan_hits", 0), stats.get("plan_misses", 0),
+               stats.get("network_hits", 0), stats.get("network_misses", 0)),
+            file=sys.stderr,
+        )
     text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
     if args.out == "-":
         print(text)
@@ -162,18 +181,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _dry_run_batch(path: str, jobs: list) -> int:
+def _dry_run_batch(path: str, jobs: list, plan: bool = False) -> int:
     """Validate every job of a batch file without running anything.
 
     Decoding a job exercises the full spec path — experiment lookup in
     the registry, field-name checking and type-driven reconstruction —
     so a passing dry run means ``repro batch`` will accept the file.
+    With *plan*, each valid job additionally reports its estimated cost
+    (``Experiment.estimate_cost``: cells and cells × hops) and the
+    sweep totals are printed, so big launches are predictable up front.
     """
     # The same normalizer run_batch uses, so a dry-run verdict can
     # never disagree with what the real run would accept.
+    from .experiments.registry import get_experiment
     from .experiments.runner import _normalize_job
 
     errors = 0
+    estimated = 0
+    total_cells = 0
+    total_cell_hops = 0
+    total_weighted = 0
     for index, raw in enumerate(jobs):
         try:
             job = _normalize_job(raw)
@@ -188,13 +215,77 @@ def _dry_run_batch(path: str, jobs: list) -> int:
             print("job %d: %s" % (index, error), file=sys.stderr)
             continue
         label = " [%s]" % job.label if job.label else ""
-        print("job %d: %s %s%s ok"
-              % (index, job.experiment, type(spec).__name__, label))
+        suffix = ""
+        if plan:
+            try:
+                cost = get_experiment(job.experiment).estimate_cost(spec)
+            except ValueError as error:  # spec decodes but cannot plan
+                errors += 1
+                print("job %d: cannot plan: %s" % (index, error),
+                      file=sys.stderr)
+                continue
+            if cost is None:
+                suffix = "  cost: n/a"
+            else:
+                kinds = cost.get("kinds", 1)
+                weighted = cost["cell_hops"] * kinds
+                estimated += 1
+                total_cells += cost["cells"]
+                total_cell_hops += cost["cell_hops"]
+                total_weighted += weighted
+                suffix = (
+                    "  cost: %d circuits, %d cells, %d cell-hops"
+                    " (x%d kinds = %d)"
+                    % (cost.get("circuits", 0), cost["cells"],
+                       cost["cell_hops"], kinds, weighted)
+                )
+        print("job %d: %s %s%s ok%s"
+              % (index, job.experiment, type(spec).__name__, label, suffix))
     if errors:
         print("%s: %d of %d jobs invalid" % (path, errors, len(jobs)),
               file=sys.stderr)
         return 2
     print("%s: all %d jobs valid" % (path, len(jobs)))
+    if plan:
+        print(
+            "estimated sweep cost: %d of %d jobs estimable, "
+            "%d cells, %d cell-hops, %d kind-weighted cell-hops"
+            % (estimated, len(jobs), total_cells, total_cell_hops,
+               total_weighted)
+        )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``repro scenario``: run a scenario, or list the registered parts."""
+    if args.action != "list":
+        return _cmd_experiment(args)
+    from .scenario import list_parts
+
+    rows = list_parts()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "kind": kind,
+                    "part": name,
+                    "class": cls.__name__,
+                    "help": (cls.__doc__ or "").strip().splitlines()[0],
+                }
+                for kind, name, cls in rows
+            ],
+            indent=2,
+        ))
+        return 0
+    from .report import format_table
+
+    print(format_table(
+        ["kind", "part", "class", "description"],
+        [[kind, name, cls.__name__,
+          (cls.__doc__ or "").strip().splitlines()[0]]
+         for kind, name, cls in rows],
+        title="Registered scenario parts (%d)" % len(rows),
+    ))
     return 0
 
 
@@ -215,6 +306,10 @@ _BUILTIN_COMMANDS = {
     "list": _cmd_list,
     "batch": _cmd_batch,
     "report": _cmd_report,
+    # The scenario experiment's subcommand doubles as the parts
+    # browser; its handler falls through to the generic experiment
+    # path for `repro scenario run`.
+    "scenario": _cmd_scenario,
 }
 
 

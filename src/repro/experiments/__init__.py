@@ -102,7 +102,20 @@ from .netscale import (
     run_netscale_experiment,
     select_netscale_paths,
 )
-from .netgen import GeneratedNetwork, NetworkConfig, generate_network
+from .netgen import (
+    GeneratedNetwork,
+    NetworkConfig,
+    NetworkPlan,
+    generate_network,
+    instantiate_network,
+    plan_network,
+)
+
+# The generic declarative-scenario experiment lives in the scenario
+# package (which must stay importable without these harnesses); its
+# registration happens here so `import repro.experiments` yields the
+# complete registry.
+from ..scenario.experiment import ScenarioExperiment
 
 __all__ = [
     "AblationsConfig",
@@ -140,9 +153,11 @@ __all__ = [
     "NetScaleExperiment",
     "NetScaleResult",
     "NetworkConfig",
+    "NetworkPlan",
     "OptimalConfig",
     "OptimalExperiment",
     "OptimalResult",
+    "ScenarioExperiment",
     "Serializable",
     "SpecError",
     "TraceConfig",
@@ -157,7 +172,9 @@ __all__ = [
     "generate_network",
     "get_experiment",
     "initial_window_sweep",
+    "instantiate_network",
     "iter_experiments",
+    "plan_network",
     "register_experiment",
     "run_ablations_experiment",
     "run_batch",

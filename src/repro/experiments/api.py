@@ -24,18 +24,18 @@ object from the target class's dataclass field annotations.  No
 per-class ``__serialize__`` boilerplate is needed: nested
 ``TransportConfig``, ``NetworkConfig``, ``HopLink`` and unit-typed
 fields all round-trip through the same two functions.
+
+The serialization core itself lives in :mod:`repro.serialize` (so the
+scenario layer can use it without importing the experiment harnesses);
+this module re-exports it under the historical names.
 """
 
 from __future__ import annotations
 
-import collections.abc
 import json
-import typing
-from dataclasses import MISSING, fields, is_dataclass
 from typing import Any, ClassVar, Dict, Optional, Protocol, runtime_checkable
 
-from ..analysis.trace import TraceRecorder
-from ..units import Rate
+from ..serialize import Serializable, SpecError, decode, encode
 
 __all__ = [
     "Experiment",
@@ -49,160 +49,9 @@ __all__ = [
 ]
 
 
-class SpecError(ValueError):
-    """A spec could not be built from the given inputs (CLI or JSON)."""
-
-
-# ----------------------------------------------------------------------
-# Structural JSON encoding/decoding
-# ----------------------------------------------------------------------
-
-
-def encode(obj: Any) -> Any:
-    """Convert *obj* into plain JSON-able data (dicts/lists/scalars).
-
-    Handles dataclasses (recursively, by field), ``Rate`` (stored as
-    bytes/second), ``TraceRecorder`` (stored as its sample arrays),
-    tuples/lists, and string- or int-keyed dicts.
-    """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    if isinstance(obj, Rate):
-        return {"bytes_per_second": obj.bytes_per_second}
-    if isinstance(obj, TraceRecorder):
-        return {
-            "name": obj.name,
-            "times": list(obj.times),
-            "values": list(obj.values),
-        }
-    if is_dataclass(obj) and not isinstance(obj, type):
-        return {f.name: encode(getattr(obj, f.name)) for f in fields(obj)}
-    if isinstance(obj, (list, tuple)):
-        return [encode(item) for item in obj]
-    if isinstance(obj, dict):
-        return {_encode_key(key): encode(value) for key, value in obj.items()}
-    raise TypeError("cannot encode %r of type %s" % (obj, type(obj).__name__))
-
-
-def _encode_key(key: Any) -> str:
-    if isinstance(key, str):
-        return key
-    if isinstance(key, int):
-        return str(key)
-    raise TypeError("unsupported dict key %r (want str or int)" % (key,))
-
-
-def decode(target_type: Any, data: Any) -> Any:
-    """Rebuild a value of *target_type* from :func:`encode` output.
-
-    The inverse of :func:`encode`, driven by typing annotations: the
-    declared dataclass field types say whether a JSON number is a plain
-    float or a :class:`Rate`, whether a JSON list is a list or a tuple,
-    and which dataclass a nested dict reconstructs.
-    """
-    if target_type is Any or target_type is None or target_type is type(None):
-        return data
-    origin = typing.get_origin(target_type)
-    if origin is typing.Union:
-        if data is None:
-            return None
-        args = [a for a in typing.get_args(target_type) if a is not type(None)]
-        if len(args) != 1:
-            raise TypeError("cannot decode ambiguous union %r" % (target_type,))
-        return decode(args[0], data)
-    if target_type is float:
-        return float(data)
-    if target_type in (int, str, bool):
-        return data
-    if target_type is Rate:
-        return Rate(data["bytes_per_second"])
-    if target_type is TraceRecorder:
-        recorder = TraceRecorder(data["name"])
-        recorder.times = [float(t) for t in data["times"]]
-        recorder.values = [float(v) for v in data["values"]]
-        return recorder
-    if isinstance(target_type, type) and is_dataclass(target_type):
-        return _decode_dataclass(target_type, data)
-    if origin is list or target_type is list:
-        args = typing.get_args(target_type)
-        element = args[0] if args else Any
-        return [decode(element, item) for item in data]
-    if origin is collections.abc.Sequence:
-        # Abstract Sequence fields sit in frozen specs: rebuild as tuples.
-        (element,) = typing.get_args(target_type) or (Any,)
-        return tuple(decode(element, item) for item in data)
-    if origin is tuple or target_type is tuple:
-        args = typing.get_args(target_type)
-        if len(args) == 2 and args[1] is Ellipsis:
-            return tuple(decode(args[0], item) for item in data)
-        if args:
-            return tuple(decode(a, item) for a, item in zip(args, data))
-        return tuple(data)
-    if origin is dict or target_type is dict:
-        args = typing.get_args(target_type)
-        key_type, value_type = args if args else (Any, Any)
-        return {
-            _decode_key(key_type, key): decode(value_type, value)
-            for key, value in data.items()
-        }
-    # Unparameterized / unknown annotation: pass the data through.
-    return data
-
-
-def _decode_key(key_type: Any, key: str) -> Any:
-    return int(key) if key_type is int else key
-
-
-def _decode_dataclass(cls: type, data: Dict[str, Any]) -> Any:
-    hints = typing.get_type_hints(cls)
-    known = {f.name for f in fields(cls)}
-    unknown = set(data) - known
-    if unknown:
-        # A typo'd field silently falling back to its default would
-        # corrupt sweeps; reject instead.
-        raise SpecError(
-            "%s has no field(s) %s (known: %s)"
-            % (cls.__name__, ", ".join(sorted(map(repr, unknown))),
-               ", ".join(sorted(known)))
-        )
-    kwargs: Dict[str, Any] = {}
-    for f in fields(cls):
-        if not f.init:
-            continue
-        if f.name in data:
-            kwargs[f.name] = decode(hints.get(f.name, Any), data[f.name])
-        elif f.default is MISSING and f.default_factory is MISSING:
-            raise SpecError(
-                "%s is missing required field %r" % (cls.__name__, f.name)
-            )
-    return cls(**kwargs)
-
-
 # ----------------------------------------------------------------------
 # Base classes
 # ----------------------------------------------------------------------
-
-
-class Serializable:
-    """Mixin giving dataclasses a JSON dict round-trip."""
-
-    def to_dict(self) -> Dict[str, Any]:
-        """This object as plain JSON-able data."""
-        return encode(self)
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "Serializable":
-        """Rebuild an instance from :meth:`to_dict` output."""
-        return decode(cls, data)
-
-    def to_json(self, **dumps_kwargs: Any) -> str:
-        """This object as a JSON string (``json.dumps`` kwargs pass through)."""
-        return json.dumps(self.to_dict(), **dumps_kwargs)
-
-    @classmethod
-    def from_json(cls, text: str) -> "Serializable":
-        """Rebuild an instance from :meth:`to_json` output."""
-        return cls.from_dict(json.loads(text))
 
 
 class ExperimentSpec(Serializable):
@@ -262,6 +111,17 @@ class Experiment:
                 % (self.name, self.spec_type.__name__, type(spec).__name__)
             )
         return spec
+
+    def estimate_cost(self, spec: Any) -> Optional[Dict[str, int]]:
+        """Predicted cost of running *spec*, before running anything.
+
+        Returns ``None`` when the experiment cannot predict its cost,
+        or a dict with at least ``cells`` (application cells injected)
+        and ``cell_hops`` (cells × transport hops — the quantity engine
+        time is proportional to).  ``repro batch --plan`` sums these
+        across a sweep so big launches are predictable up front.
+        """
+        return None
 
     # --- CLI hooks (used by the registry-driven repro.cli) -------------
 

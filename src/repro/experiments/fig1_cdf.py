@@ -6,16 +6,22 @@ connected in a star topology.  We simulated 50 concurrent circuits."
 The CDF of time-to-last-byte with CircuitStart sits left of the one
 without, with improvements up to ~0.5 s.
 
-The harness below reproduces the setup end to end:
+The harness reproduces the setup end to end, as a declarative scenario
+(:meth:`CdfConfig.to_scenario`):
 
-1. generate the seeded star network and consensus directory
-   (:mod:`repro.experiments.netgen`);
+1. generate the seeded star network and consensus directory (the
+   :class:`~repro.scenario.GeneratedTopology` source);
 2. select 50 bandwidth-weighted 3-relay paths (Tor-style, via
    :class:`~repro.tor.PathSelector`) — the *same* paths for both modes;
 3. run all 50 downloads concurrently, once per controller kind, on a
-   fresh simulator each;
+   fresh simulator each (the scenario engine; planning and runs share
+   one plan object, cached by spec hash);
 4. return per-mode time-to-last-byte samples plus the comparison
    statistics (median gap, max horizontal CDF gap, dominance fraction).
+
+The RNG namespace is pinned to ``""`` so the scenario plan is
+draw-for-draw identical to the pre-scenario harness (substreams
+``paths`` and ``starts``): results are byte-identical.
 """
 
 from __future__ import annotations
@@ -30,14 +36,22 @@ from ..analysis.stats import (
     stochastic_dominance_fraction,
     summarize,
 )
+from ..scenario import (
+    BulkWorkload,
+    GeneratedTopology,
+    NoChurn,
+    Scenario,
+    ScenarioResult,
+    plan_scenario,
+    run_planned,
+)
+from ..scenario.cache import DEFAULT_CACHE
 from ..sim.rand import RandomStreams
-from ..sim.simulator import Simulator
-from ..tor.circuit import CircuitFlow, CircuitSpec
 from ..tor.path_selection import PathSelector
 from ..transport.config import TransportConfig
 from ..units import kib, milliseconds, seconds
 from .api import Experiment, ExperimentResult, ExperimentSpec
-from .netgen import NetworkConfig, generate_network
+from .netgen import NetworkConfig
 from .registry import register_experiment
 
 __all__ = [
@@ -75,6 +89,21 @@ class CdfConfig(ExperimentSpec):
             self.network.client_count, self.network.server_count
         ):
             raise ValueError("not enough client/server hosts for the circuits")
+
+    def to_scenario(self) -> Scenario:
+        """Compile this legacy spec into a declarative scenario."""
+        return Scenario(
+            topology=GeneratedTopology(network=self.network),
+            workloads=(BulkWorkload(payload_bytes=self.payload_bytes),),
+            churn=NoChurn(start_window=self.start_jitter),
+            circuit_count=self.circuit_count,
+            hops=self.hops,
+            kinds=self.kinds,
+            seed=self.seed,
+            max_sim_time=self.max_sim_time,
+            transport=self.transport,
+            rng_namespace="",
+        )
 
 
 @dataclass
@@ -162,6 +191,11 @@ class CdfExperiment(Experiment):
     def run(self, spec: CdfConfig) -> CdfResult:
         return _run_cdf(spec, kinds=None)
 
+    def estimate_cost(self, spec: CdfConfig) -> Dict[str, int]:
+        return plan_scenario(
+            spec.to_scenario(), cache=DEFAULT_CACHE
+        ).estimated_cost()
+
     def add_cli_arguments(self, parser) -> None:
         parser.add_argument("--circuits", type=int, default=50)
         parser.add_argument("--payload-kib", type=int, default=400)
@@ -222,86 +256,28 @@ def run_cdf_experiment(
 def _run_cdf(config: CdfConfig, kinds: Optional[Sequence[str]]) -> CdfResult:
     """Run the concurrent-download experiment for every controller kind.
 
-    Both modes see identical networks, relay paths and start times; the
-    only difference is the start-up controller at every hop.
+    Both modes see identical networks, relay paths and start times (one
+    shared scenario plan, cached by spec hash); the only difference is
+    the start-up controller at every hop.
     """
     run_kinds = list(kinds) if kinds is not None else list(config.kinds)
+    plan = plan_scenario(config.to_scenario(), cache=DEFAULT_CACHE)
+    return _to_cdf_result(config, run_planned(plan, kinds=run_kinds))
 
-    # Path selection and start jitter are drawn once, from streams
-    # independent of the controller kind.
-    planning = RandomStreams(config.seed)
-    planning_sim = Simulator()
-    network_for_paths = generate_network(planning_sim, config.network, planning)
-    paths = select_circuit_paths(config, planning, network_for_paths.directory)
-    start_rng = planning.stream("starts")
-    starts = [
-        start_rng.uniform(0.0, config.start_jitter)
-        for __ in range(config.circuit_count)
-    ]
 
+def _to_cdf_result(config: CdfConfig, result: ScenarioResult) -> CdfResult:
+    """Adapt the scenario engine's result to the legacy shape."""
     ttlb: Dict[str, List[float]] = {}
     flows: Dict[str, List[FlowSample]] = {}
-    for kind in run_kinds:
-        samples = _run_one_mode(config, kind, paths, starts)
-        flows[kind] = samples
-        ttlb[kind] = sorted(s.time_to_last_byte for s in samples)
-    return CdfResult(config=config, ttlb=ttlb, flows=flows)
-
-
-def _run_one_mode(
-    config: CdfConfig,
-    kind: str,
-    paths: List[List[str]],
-    starts: List[float],
-) -> List[FlowSample]:
-    sim = Simulator()
-    streams = RandomStreams(config.seed)  # regenerate the identical network
-    network = generate_network(sim, config.network, streams)
-
-    flows: List[CircuitFlow] = []
-    for index, (path, start) in enumerate(zip(paths, starts)):
-        spec = CircuitSpec(
-            circuit_id=index + 1,
-            source=network.server_names[index],
-            relays=path,
-            sink=network.client_names[index],
-        )
-        flows.append(
-            CircuitFlow(
-                sim,
-                network.topology,
-                spec,
-                config.transport,
-                controller_kind=kind,
-                payload_bytes=config.payload_bytes,
-                start_time=start,
-            )
-        )
-
-    sim.run_until(config.max_sim_time)
-
-    unfinished = [flow for flow in flows if not flow.done]
-    if unfinished:
-        raise RuntimeError(
-            "%d/%d circuits did not finish within %.1fs (kind=%s); first: %r"
-            % (
-                len(unfinished),
-                len(flows),
-                config.max_sim_time,
-                kind,
-                unfinished[0],
-            )
-        )
-    samples = []
-    for flow in flows:
-        ttlb = flow.time_to_last_byte
-        assert flow.sink.first_cell_time is not None
-        samples.append(
+    for kind, rows in result.samples.items():
+        flows[kind] = [
             FlowSample(
-                circuit_id=flow.spec.circuit_id,
-                time_to_last_byte=ttlb,
-                time_to_first_byte=flow.sink.first_cell_time - flow.start_time,
-                goodput_bytes_per_second=config.payload_bytes / ttlb,
+                circuit_id=row.circuit_id,
+                time_to_last_byte=row.time_to_last_byte,
+                time_to_first_byte=row.time_to_first_byte,
+                goodput_bytes_per_second=row.goodput_bytes_per_second,
             )
-        )
-    return samples
+            for row in rows
+        ]
+        ttlb[kind] = sorted(s.time_to_last_byte for s in flows[kind])
+    return CdfResult(config=config, ttlb=ttlb, flows=flows)

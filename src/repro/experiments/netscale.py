@@ -3,8 +3,8 @@
 The Figure-1c experiment runs 50 circuits that interact only through
 the generated star network's access links.  This experiment is the
 first genuinely *network-scale* scenario: many circuits — a mix of bulk
-downloads and short interactive fetches — share relays (endpoints are
-reused round-robin, relay paths overlap) and additionally all cross one
+downloads and interactive fetches — share relays (endpoints are reused
+round-robin, relay paths overlap) and additionally all cross one
 designated **common bottleneck relay**, the slowest relay of the
 generated consensus, forced into the middle position of every path.
 Contention at that relay is therefore systemic, not incidental, which
@@ -12,21 +12,31 @@ is exactly the regime CircuitStart's start-up targets: a new circuit
 must find its fair share of an already-loaded relay without first
 flooding it.
 
+Since the scenario API landed, this module is a thin adapter: a
+:class:`NetScaleConfig` compiles (via :meth:`NetScaleConfig.to_scenario`)
+into a declarative :class:`~repro.scenario.Scenario` — topology source
+with a forced bottleneck, a bulk/interactive workload mix (the
+interactive class is backed by the stream scheduler, so per-message
+latencies come out of the run), an optional churn process with
+departures and re-arrivals, and utilization/queue probes — and the
+scenario engine does the rest.  Plans are cached by spec hash
+(:data:`repro.scenario.DEFAULT_CACHE`), so batch sweeps over the same
+network never repeat ``generate_network`` or path selection.
+
 Measured per circuit and per controller kind (``with``/``without``
 CircuitStart, as in the paper's legend):
 
 * time to first byte — what interactive use feels;
 * time to last byte and goodput — the bulk metric;
 * start-up duration — how long the source controller stayed in its
-  start-up phase (``None`` if the transfer ended inside it).
+  start-up phase (``None`` if the transfer ended inside it);
+* per-message latencies for interactive circuits;
+* with churn enabled: per-relay utilization/queue time series and the
+  steady-state sample subset (:meth:`NetScaleResult.steady_samples`).
 
-The harness follows the Figure-1c recipe: the network, the paths, the
-workload mix and the start times are planned once from the seed, then
-each controller kind replays the identical scenario on a fresh
-simulator, so every difference in the output is attributable to the
-start-up scheme.  The allocation-light engine fast path is what makes
-this scenario sweepable; ``events_executed`` is reported per kind so
-the engine cost of a scenario stays visible.
+The RNG namespace is pinned to ``"netscale"`` so the scenario plan is
+draw-for-draw identical to the pre-scenario harness: same network,
+same paths, same workload mix, same start times.
 """
 
 from __future__ import annotations
@@ -35,13 +45,28 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.stats import EmpiricalCdf, summarize
+from ..scenario import (
+    BulkWorkload,
+    ChurnProcess,
+    GeneratedTopology,
+    InteractiveWorkload,
+    NoChurn,
+    OpenLoopChurn,
+    Probe,
+    ProbeSeries,
+    Scenario,
+    ScenarioResult,
+    UtilizationProbe,
+    forced_bottleneck_paths,
+    plan_scenario,
+    run_scenario,
+)
+from ..scenario.cache import DEFAULT_CACHE
 from ..sim.rand import RandomStreams
-from ..sim.simulator import Simulator
-from ..tor.circuit import CircuitFlow, CircuitSpec
 from ..transport.config import TransportConfig
 from ..units import kib, seconds
 from .api import Experiment, ExperimentResult, ExperimentSpec
-from .netgen import NetworkConfig, generate_network
+from .netgen import NetworkConfig
 from .registry import register_experiment
 
 __all__ = [
@@ -55,6 +80,9 @@ __all__ = [
 
 BULK = "bulk"
 INTERACTIVE = "interactive"
+
+#: Interactive fetches are split into messages of roughly this size.
+_INTERACTIVE_MESSAGE_BYTES = kib(5)
 
 
 def _default_network() -> NetworkConfig:
@@ -71,7 +99,7 @@ class NetScaleConfig(ExperimentSpec):
     circuit_count: int = 60
     hops: int = 3
     #: Fraction of circuits carrying a bulk download; the rest are
-    #: short interactive-style fetches (a web page, not a file).
+    #: interactive fetches (a web page, not a file).
     bulk_fraction: float = 0.7
     bulk_payload_bytes: int = kib(300)
     interactive_payload_bytes: int = kib(25)
@@ -86,6 +114,11 @@ class NetScaleConfig(ExperimentSpec):
     kinds: Tuple[str, str] = ("with", "without")
     network: NetworkConfig = field(default_factory=_default_network)
     transport: TransportConfig = field(default_factory=TransportConfig)
+    #: Optional arrival/churn process (departures + re-arrivals).
+    #: ``None`` runs the classic one-shot wave over ``start_window``.
+    churn: Optional[ChurnProcess] = None
+    #: Instrumentation sampled while the scenario runs.
+    probes: Tuple[Probe, ...] = ()
 
     def __post_init__(self) -> None:
         if self.circuit_count < 1:
@@ -106,6 +139,52 @@ class NetScaleConfig(ExperimentSpec):
                 % (self.network.relay_count, self.hops)
             )
 
+    def interactive_workload(self) -> InteractiveWorkload:
+        """The stream-backed interactive class for this config.
+
+        ``interactive_payload_bytes`` is split into equal messages of
+        roughly 5 KiB sent on a 100 ms open-loop timer (a page pulling
+        its resources); the final message absorbs any division
+        remainder, so the circuit transfers exactly the declared
+        payload.
+        """
+        payload = self.interactive_payload_bytes
+        count = max(1, round(payload / _INTERACTIVE_MESSAGE_BYTES))
+        message_bytes = payload // count
+        return InteractiveWorkload(
+            weight=1.0 - self.bulk_fraction,
+            message_bytes=message_bytes,
+            message_count=count,
+            message_interval=0.1,
+            remainder_bytes=payload - message_bytes * count,
+        )
+
+    def to_scenario(self) -> Scenario:
+        """Compile this legacy spec into a declarative scenario."""
+        return Scenario(
+            topology=GeneratedTopology(
+                network=self.network, force_bottleneck=True
+            ),
+            workloads=(
+                BulkWorkload(
+                    weight=self.bulk_fraction,
+                    payload_bytes=self.bulk_payload_bytes,
+                ),
+                self.interactive_workload(),
+            ),
+            churn=self.churn
+            if self.churn is not None
+            else NoChurn(start_window=self.start_window),
+            probes=self.probes,
+            circuit_count=self.circuit_count,
+            hops=self.hops,
+            kinds=self.kinds,
+            seed=self.seed,
+            max_sim_time=self.max_sim_time,
+            transport=self.transport,
+            rng_namespace="netscale",
+        )
+
 
 @dataclass
 class CircuitSample(ExperimentResult):
@@ -122,6 +201,12 @@ class CircuitSample(ExperimentResult):
     #: Seconds the source controller spent in its start-up phase;
     #: ``None`` when the transfer completed without leaving start-up.
     startup_duration: Optional[float]
+    #: 0 = initial arrival wave, >= 1 = churn re-arrival.
+    generation: int = 0
+    #: When the circuit was torn down (churn departures), else ``None``.
+    departed_at: Optional[float] = None
+    #: Per-message delivery latencies (interactive circuits only).
+    message_latencies: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -136,6 +221,8 @@ class NetScaleResult(ExperimentResult):
     #: controller kind -> simulator events executed for the whole run
     #: (the engine cost of the scenario; tracks the fast-path benefit).
     events_executed: Dict[str, int]
+    #: controller kind -> probe time series (utilization, queue depth).
+    probes: Dict[str, List[ProbeSeries]] = field(default_factory=dict)
 
     # --- analysis helpers -------------------------------------------------
 
@@ -145,6 +232,23 @@ class NetScaleResult(ExperimentResult):
         if workload is None:
             return list(rows)
         return [s for s in rows if s.workload == workload]
+
+    def steady_samples(self, kind: str) -> List[CircuitSample]:
+        """Samples from circuits that arrived at steady state.
+
+        With churn enabled, the initial wave is warm-up: only circuits
+        that started at or after the churn process's settle time count.
+        Without churn every sample is returned.
+        """
+        churn = self.config.churn
+        if churn is None:
+            return list(self.samples[kind])
+        settle = churn.settle_time()
+        return [s for s in self.samples[kind] if s.start_time >= settle]
+
+    def utilization_series(self, kind: str) -> List[ProbeSeries]:
+        """Per-relay utilization-over-time rows for *kind*."""
+        return [s for s in self.probes.get(kind, []) if s.probe == "utilization"]
 
     def ttlb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
         return EmpiricalCdf(
@@ -180,115 +284,50 @@ def select_netscale_paths(
 
     The remaining positions are sampled bandwidth-weighted without
     replacement (Tor-style), excluding the bottleneck so it appears
-    exactly once per path.  Deterministic given the seed.
+    exactly once per path.  Deterministic given the seed.  Thin wrapper
+    over :func:`repro.scenario.forced_bottleneck_paths` using the
+    legacy ``netscale.paths`` substream.
     """
-    rng = streams.stream("netscale.paths")
-    middle = config.hops // 2
-    paths: List[List[str]] = []
-    for __ in range(config.circuit_count):
-        others = [
-            relay.name
-            for relay in directory.weighted_sample(
-                rng, config.hops - 1, exclude=[bottleneck]
-            )
-        ]
-        paths.append(others[:middle] + [bottleneck] + others[middle:])
-    return paths
-
-
-def _plan(config: NetScaleConfig):
-    """Everything both kinds share: network, bottleneck, paths, workloads."""
-    planning = RandomStreams(config.seed)
-    network = generate_network(Simulator(), config.network, planning)
-    # The slowest relay of the generated consensus; name breaks rate ties
-    # so the choice is deterministic.
-    bottleneck = min(
-        network.relay_names,
-        key=lambda name: (network.relay_rate(name).bytes_per_second, name),
+    return forced_bottleneck_paths(
+        streams.stream("netscale.paths"),
+        directory,
+        bottleneck,
+        config.hops,
+        config.circuit_count,
     )
-    paths = select_netscale_paths(config, planning, network.directory, bottleneck)
-    workload_rng = planning.stream("netscale.workloads")
-    workloads = [
-        BULK if workload_rng.random() < config.bulk_fraction else INTERACTIVE
-        for __ in range(config.circuit_count)
-    ]
-    start_rng = planning.stream("netscale.starts")
-    starts = [
-        start_rng.uniform(0.0, config.start_window)
-        for __ in range(config.circuit_count)
-    ]
-    return bottleneck, paths, workloads, starts
 
 
-def _run_one_kind(
-    config: NetScaleConfig,
-    kind: str,
-    paths: List[List[str]],
-    workloads: List[str],
-    starts: List[float],
-) -> Tuple[List[CircuitSample], int]:
-    sim = Simulator()
-    streams = RandomStreams(config.seed)  # regenerate the identical network
-    network = generate_network(sim, config.network, streams)
-
-    flows: List[CircuitFlow] = []
-    for index, (path, workload, start) in enumerate(
-        zip(paths, workloads, starts)
-    ):
-        payload = (
-            config.bulk_payload_bytes
-            if workload == BULK
-            else config.interactive_payload_bytes
-        )
-        spec = CircuitSpec(
-            circuit_id=index + 1,
-            source=network.server_names[index % len(network.server_names)],
-            relays=path,
-            sink=network.client_names[index % len(network.client_names)],
-        )
-        flows.append(
-            CircuitFlow(
-                sim,
-                network.topology,
-                spec,
-                config.transport,
-                controller_kind=kind,
-                payload_bytes=payload,
-                start_time=start,
-            )
-        )
-
-    sim.run_until(config.max_sim_time)
-
-    unfinished = [flow for flow in flows if not flow.done]
-    if unfinished:
-        raise RuntimeError(
-            "%d/%d circuits did not finish within %.1fs (kind=%s); first: %r"
-            % (len(unfinished), len(flows), config.max_sim_time, kind,
-               unfinished[0])
-        )
-
-    samples: List[CircuitSample] = []
-    for flow, workload in zip(flows, workloads):
-        ttlb = flow.time_to_last_byte
-        assert flow.sink.first_cell_time is not None
-        exit_time = flow.source_controller.startup_exit_time
-        samples.append(
+def _to_netscale_result(
+    config: NetScaleConfig, result: ScenarioResult
+) -> NetScaleResult:
+    """Adapt the scenario engine's result to the legacy shape."""
+    samples: Dict[str, List[CircuitSample]] = {}
+    for kind, rows in result.samples.items():
+        samples[kind] = [
             CircuitSample(
-                circuit_id=flow.spec.circuit_id,
-                workload=workload,
-                relays=list(flow.spec.relays),
-                payload_bytes=flow.payload_bytes,
-                start_time=flow.start_time,
-                time_to_first_byte=flow.sink.first_cell_time - flow.start_time,
-                time_to_last_byte=ttlb,
-                goodput_bytes_per_second=flow.payload_bytes / ttlb,
-                startup_duration=(
-                    None if exit_time is None else exit_time - flow.start_time
-                ),
+                circuit_id=row.circuit_id,
+                workload=row.workload,
+                relays=list(row.relays),
+                payload_bytes=row.payload_bytes,
+                start_time=row.start_time,
+                time_to_first_byte=row.time_to_first_byte,
+                time_to_last_byte=row.time_to_last_byte,
+                goodput_bytes_per_second=row.goodput_bytes_per_second,
+                startup_duration=row.startup_duration,
+                generation=row.generation,
+                departed_at=row.departed_at,
+                message_latencies=list(row.message_latencies),
             )
-        )
-    return samples, sim.events_executed
+            for row in rows
+        ]
+    assert result.bottleneck_relay is not None
+    return NetScaleResult(
+        config=config,
+        bottleneck_relay=result.bottleneck_relay,
+        samples=samples,
+        events_executed=dict(result.events_executed),
+        probes={kind: list(rows) for kind, rows in result.probes.items()},
+    )
 
 
 @register_experiment
@@ -301,19 +340,14 @@ class NetScaleExperiment(Experiment):
     result_type = NetScaleResult
 
     def run(self, spec: NetScaleConfig) -> NetScaleResult:
-        bottleneck, paths, workloads, starts = _plan(spec)
-        samples: Dict[str, List[CircuitSample]] = {}
-        events: Dict[str, int] = {}
-        for kind in spec.kinds:
-            samples[kind], events[kind] = _run_one_kind(
-                spec, kind, paths, workloads, starts
-            )
-        return NetScaleResult(
-            config=spec,
-            bottleneck_relay=bottleneck,
-            samples=samples,
-            events_executed=events,
+        return _to_netscale_result(
+            spec, run_scenario(spec.to_scenario(), cache=DEFAULT_CACHE)
         )
+
+    def estimate_cost(self, spec: NetScaleConfig) -> Dict[str, int]:
+        return plan_scenario(
+            spec.to_scenario(), cache=DEFAULT_CACHE
+        ).estimated_cost()
 
     def add_cli_arguments(self, parser) -> None:
         parser.add_argument("--circuits", type=int, default=60)
@@ -321,8 +355,32 @@ class NetScaleExperiment(Experiment):
         parser.add_argument("--bulk-fraction", type=float, default=0.7)
         parser.add_argument("--bulk-payload-kib", type=int, default=300)
         parser.add_argument("--seed", type=int, default=2018)
+        parser.add_argument(
+            "--churn", type=float, default=None, metavar="RATE",
+            help="enable open-loop churn: re-arrivals per second after "
+                 "the initial wave; completed circuits depart",
+        )
+        parser.add_argument(
+            "--churn-horizon", type=float, default=8.0, metavar="SECONDS",
+            help="simulated time after which no re-arrival is planned "
+                 "(with --churn; default 8.0)",
+        )
+        parser.add_argument(
+            "--probe-interval", type=float, default=0.25, metavar="SECONDS",
+            help="bottleneck utilization/queue sampling grid "
+                 "(with --churn; default 0.25)",
+        )
 
     def spec_from_cli(self, args) -> NetScaleConfig:
+        churn: Optional[ChurnProcess] = None
+        probes: Tuple[Probe, ...] = ()
+        if args.churn is not None:
+            churn = OpenLoopChurn(
+                start_window=seconds(2.0),
+                arrival_rate=args.churn,
+                horizon=args.churn_horizon,
+            )
+            probes = (UtilizationProbe(interval=args.probe_interval),)
         return NetScaleConfig(
             circuit_count=args.circuits,
             bulk_fraction=args.bulk_fraction,
@@ -333,6 +391,8 @@ class NetScaleExperiment(Experiment):
                 client_count=max(args.relays, 1),
                 server_count=max(args.relays, 1),
             ),
+            churn=churn,
+            probes=probes,
         )
 
     def render(self, result: NetScaleResult) -> str:
@@ -356,7 +416,7 @@ class NetScaleExperiment(Experiment):
              "median TTFB [s]", "median TTLB [s]", "p90 TTLB [s]"],
             rows,
             title="Network scale: %d circuits through bottleneck %s"
-            % (config.circuit_count, result.bottleneck_relay),
+            % (len(result.samples[config.kinds[0]]), result.bottleneck_relay),
         )
         with_kind, without_kind = config.kinds
         startup = result.startup_durations(with_kind)
@@ -368,12 +428,13 @@ class NetScaleExperiment(Experiment):
             for workload in (BULK, INTERACTIVE)
             if result.of_workload(with_kind, workload)
         )
+        circuit_total = len(result.samples[with_kind])
         lines = [
             table,
             "",
             "median TTLB improvement: %s" % (improvements or "n/a"),
             "startup exits (%s): %d/%d circuits, median %.3f s"
-            % (with_kind, len(startup), config.circuit_count,
+            % (with_kind, len(startup), circuit_total,
                EmpiricalCdf(startup).median if startup else float("nan")),
             "engine events: %s"
             % ", ".join(
@@ -381,6 +442,22 @@ class NetScaleExperiment(Experiment):
                 for kind in config.kinds
             ),
         ]
+        if config.churn is not None:
+            for kind in config.kinds:
+                steady = result.steady_samples(kind)
+                if steady:
+                    ttlb = EmpiricalCdf([s.time_to_last_byte for s in steady])
+                    lines.append(
+                        "steady state (%s): %d circuits, median TTLB %.3f s"
+                        % (kind, len(steady), ttlb.median)
+                    )
+        for kind in config.kinds:
+            for series in result.probes.get(kind, []):
+                lines.append(
+                    "probe %s@%s (%s): mean %.3f peak %.3f over %d samples"
+                    % (series.probe, series.target, kind,
+                       series.mean, series.peak, len(series.values))
+                )
         return "\n".join(lines)
 
 

@@ -12,6 +12,14 @@ Seeding is deterministic: with ``base_seed`` given, every job whose
 spec carries a ``seed`` field gets a stable per-job seed derived via
 :func:`repro.sim.rand.derive_seed` from the base seed, the job index
 and the experiment name — independent of worker count and scheduling.
+
+Scenario-backed jobs warm the process-local planned-scenario cache
+(:data:`repro.scenario.DEFAULT_CACHE`); each job's hit/miss delta is
+carried back from the worker and summed into
+:attr:`BatchResult.plan_cache`, so batch reports show what the cache
+saved.  The counters are observability only — they never enter the
+serialized output, which stays byte-identical across worker counts and
+cache states.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import multiprocessing
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..scenario.cache import DEFAULT_CACHE
 from ..sim.rand import derive_seed
 from .api import Serializable, SpecError, encode
 from .registry import get_experiment
@@ -86,9 +95,20 @@ class BatchItem(Serializable):
 
 @dataclass
 class BatchResult(Serializable):
-    """The merged structured output of one :func:`run_batch` sweep."""
+    """The merged structured output of one :func:`run_batch` sweep.
+
+    :attr:`plan_cache` carries the sweep's aggregated scenario
+    plan-cache counters (``plan_hits`` / ``plan_misses`` /
+    ``network_hits`` / ``network_misses``).  It is run metadata, not a
+    dataclass field: it never enters :meth:`to_dict` output (cached and
+    uncached sweeps stay byte-identical) and is ``None`` on instances
+    rebuilt from JSON.
+    """
 
     items: List[BatchItem]
+
+    #: Aggregated plan-cache counters, set by :func:`run_batch`.
+    plan_cache = None  # type: Optional[Dict[str, int]]
 
     def __len__(self) -> int:
         return len(self.items)
@@ -122,18 +142,25 @@ def _seeded(spec: Any, base_seed: int, index: int, experiment: str) -> Any:
     return spec
 
 
-def _execute_payload(payload: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
+def _execute_payload(
+    payload: Tuple[str, Dict[str, Any]]
+) -> Tuple[Dict[str, Any], Dict[str, int]]:
     """Worker entry point: decode the spec, run, encode the result.
 
-    Runs in the pool processes too; importing this module pulls in the
+    Returns the encoded result plus the job's scenario plan-cache
+    hit/miss delta (all zeros for experiments that never plan).  Runs
+    in the pool processes too; importing this module pulls in the
     :mod:`repro.experiments` package, which populates the registry, so
     spawned workers are as self-sufficient as forked ones.
     """
     name, spec_data = payload
     experiment = get_experiment(name)
     spec = experiment.spec_type.from_dict(spec_data)
+    before = DEFAULT_CACHE.stats()
     result = experiment.run(spec)
-    return encode(result)
+    after = DEFAULT_CACHE.stats()
+    delta = {key: after[key] - before[key] for key in after}
+    return encode(result), delta
 
 
 def run_batch(
@@ -170,10 +197,10 @@ def run_batch(
     ]
 
     if workers is None or workers <= 1:
-        results = [_execute_payload(payload) for payload in payloads]
+        outputs = [_execute_payload(payload) for payload in payloads]
     else:
         with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_execute_payload, payloads)
+            outputs = pool.map(_execute_payload, payloads)
 
     items = [
         BatchItem(
@@ -183,8 +210,14 @@ def run_batch(
             spec=payload[1],
             result=result,
         )
-        for index, (job, payload, result) in enumerate(
-            zip(normalized, payloads, results)
+        for index, (job, payload, (result, __)) in enumerate(
+            zip(normalized, payloads, outputs)
         )
     ]
-    return BatchResult(items=items)
+    batch = BatchResult(items=items)
+    cache_totals: Dict[str, int] = {}
+    for __, delta in outputs:
+        for key, value in delta.items():
+            cache_totals[key] = cache_totals.get(key, 0) + value
+    batch.plan_cache = cache_totals
+    return batch

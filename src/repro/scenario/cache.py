@@ -1,0 +1,135 @@
+"""The planned-scenario cache.
+
+Planning a scenario — generating the network, nominating the
+bottleneck, selecting paths, drawing the workload mix and the arrival
+schedule — is deterministic given the spec, so it only ever needs to
+happen once per distinct spec.  :class:`PlanCache` memoizes it at two
+levels:
+
+* the **scenario plan** level, keyed by the hash of the *entire* spec
+  (any field change is a different scenario and misses);
+* the **network plan** level, keyed by the topology source's
+  :meth:`~repro.scenario.parts.TopologySource.network_fingerprint`
+  (typically just the network config and the seed), so a sweep whose
+  jobs differ only in workload, churn or transport still skips the
+  repeated ``generate_network`` and its consensus draws.
+
+Because network draws live on substreams independent of the path and
+arrival substreams (:class:`~repro.sim.rand.RandomStreams` decouples
+streams by name), a plan assembled from a *cached* network is
+byte-identical to one planned cold — the cache is a pure speedup, never
+a behaviour change, and the tests pin that.
+
+The cache is per-process.  Batch workers each warm their own copy;
+:func:`repro.experiments.runner.run_batch` aggregates every worker's
+hit/miss counters into the batch report so sweeps show what the cache
+saved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..serialize import encode
+
+__all__ = ["DEFAULT_CACHE", "PlanCache", "spec_hash"]
+
+
+def spec_hash(payload: Any) -> str:
+    """Stable content hash of any :func:`~repro.serialize.encode`-able value.
+
+    Canonical JSON (sorted keys, no whitespace) through SHA-256, so the
+    hash is stable across processes and interpreter runs — any field
+    change, however deep, changes the hash.
+    """
+    canonical = json.dumps(
+        encode(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class PlanCache:
+    """Two-level LRU memo for scenario plans and network plans."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1, got %r" % max_entries)
+        self.max_entries = max_entries
+        self._plans: "OrderedDict[str, Any]" = OrderedDict()
+        self._networks: "OrderedDict[str, Any]" = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.network_hits = 0
+        self.network_misses = 0
+
+    # --- scenario plans -------------------------------------------------
+
+    def get_plan(self, key: str) -> Optional[Any]:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.plan_misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.plan_hits += 1
+        return plan
+
+    def put_plan(self, key: str, plan: Any) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.max_entries:
+            self._plans.popitem(last=False)
+
+    # --- network plans ----------------------------------------------------
+
+    def get_network(self, key: str) -> Optional[Any]:
+        network = self._networks.get(key)
+        if network is None:
+            self.network_misses += 1
+            return None
+        self._networks.move_to_end(key)
+        self.network_hits += 1
+        return network
+
+    def put_network(self, key: str, network: Any) -> None:
+        self._networks[key] = network
+        self._networks.move_to_end(key)
+        while len(self._networks) > self.max_entries:
+            self._networks.popitem(last=False)
+
+    # --- bookkeeping ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters as a plain dict (for batch reports)."""
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "network_hits": self.network_hits,
+            "network_misses": self.network_misses,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        self._plans.clear()
+        self._networks.clear()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.network_hits = 0
+        self.network_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans) + len(self._networks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PlanCache plans=%d networks=%d hits=%d/%d>" % (
+            len(self._plans),
+            len(self._networks),
+            self.plan_hits,
+            self.network_hits,
+        )
+
+
+#: The process-wide cache the experiments and the batch runner share.
+DEFAULT_CACHE = PlanCache()

@@ -1,0 +1,133 @@
+"""Churn parts: when circuits arrive, depart and re-arrive.
+
+The arrival/churn process is planned, never reactive: every arrival
+time is a pure function of the spec and the seed, drawn at planning
+time, so the "with" and "without" runs of a scenario replay the
+identical arrival schedule and any difference in the output is
+attributable to the start-up scheme.
+
+* :class:`NoChurn` — the classic one-shot wave: every circuit starts
+  uniformly within ``start_window`` and stays for its whole transfer.
+  This reproduces the pre-scenario harnesses draw for draw.
+* :class:`OpenLoopChurn` — the steady-state regime the ROADMAP asked
+  for: the initial wave is followed by a Poisson process of *re-arrivals*
+  until ``horizon``, and completed circuits *depart* (their state is
+  torn down at every host along the path).  The bottleneck relay then
+  serves a continuously refreshed mix — old circuits draining while new
+  ones join — which is exactly the operating regime a start-up scheme
+  has to get right.
+
+Arrivals are ``(generation, start_time)`` pairs: generation 0 is the
+initial wave (exactly ``scenario.circuit_count`` entries), generation 1
+the churn re-arrivals.  Start-time draws come from the ``starts``
+substream and re-arrival draws from the separate ``churn`` substream,
+so enabling churn never perturbs the initial wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, List, Optional, Tuple
+
+from .parts import ChurnProcess, register_part
+
+__all__ = ["NoChurn", "OpenLoopChurn", "stream_name"]
+
+
+def stream_name(namespace: str, label: str) -> str:
+    """Substream name under *namespace* (bare label when namespace is '').
+
+    Legacy experiment adapters set an empty or experiment-specific
+    namespace so their random draws remain byte-identical to the
+    pre-scenario harnesses (``"starts"`` for the CDF experiment,
+    ``"netscale.starts"`` for netscale).
+    """
+    return "%s.%s" % (namespace, label) if namespace else label
+
+
+@register_part
+@dataclass(frozen=True)
+class NoChurn(ChurnProcess):
+    """One-shot arrivals: a single wave, no departures."""
+
+    #: Circuits start uniformly within this window (seconds).
+    start_window: float = 0.0
+    part: str = field(default="none", init=False)
+
+    departures: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.start_window < 0:
+            raise ValueError(
+                "start_window must be non-negative, got %r" % self.start_window
+            )
+
+    def plan_arrivals(
+        self, scenario: Any, streams: Any
+    ) -> List[Tuple[int, float]]:
+        rng = streams.stream(stream_name(scenario.rng_namespace, "starts"))
+        return [
+            (0, rng.uniform(0.0, self.start_window))
+            for __ in range(scenario.circuit_count)
+        ]
+
+    def settle_time(self) -> float:
+        # A one-shot wave has no warm-up/steady-state distinction:
+        # every sample counts (returning start_window here would make
+        # steady_samples() empty for every no-churn scenario).
+        return 0.0
+
+
+@register_part
+@dataclass(frozen=True)
+class OpenLoopChurn(ChurnProcess):
+    """Initial wave + Poisson re-arrivals + departures on completion."""
+
+    #: The initial wave starts uniformly within this window (seconds).
+    start_window: float = 2.0
+    #: Aggregate re-arrival rate (circuits per second) after the wave.
+    arrival_rate: float = 4.0
+    #: No re-arrival is planned at or after this simulated time.
+    horizon: float = 8.0
+    #: Samples from circuits that started before this time count as
+    #: warm-up, not steady state; defaults to ``start_window``.
+    settle: Optional[float] = None
+    part: str = field(default="open-loop", init=False)
+
+    departures: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if self.start_window < 0:
+            raise ValueError(
+                "start_window must be non-negative, got %r" % self.start_window
+            )
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                "arrival_rate must be positive, got %r" % self.arrival_rate
+            )
+        if self.horizon < self.start_window:
+            raise ValueError(
+                "horizon (%r) must not precede the start window (%r)"
+                % (self.horizon, self.start_window)
+            )
+
+    def plan_arrivals(
+        self, scenario: Any, streams: Any
+    ) -> List[Tuple[int, float]]:
+        namespace = scenario.rng_namespace
+        start_rng = streams.stream(stream_name(namespace, "starts"))
+        arrivals: List[Tuple[int, float]] = [
+            (0, start_rng.uniform(0.0, self.start_window))
+            for __ in range(scenario.circuit_count)
+        ]
+        churn_rng = streams.stream(stream_name(namespace, "churn"))
+        at = self.start_window
+        while True:
+            at += churn_rng.expovariate(self.arrival_rate)
+            if at >= self.horizon:
+                break
+            arrivals.append((1, at))
+        return arrivals
+
+    def settle_time(self) -> float:
+        return self.start_window if self.settle is None else self.settle

@@ -1,0 +1,312 @@
+"""The scenario engine: replay one plan per controller kind.
+
+:func:`run_scenario` is the single entry point every scenario-backed
+experiment goes through: plan (or fetch the cached plan), then replay
+the identical circuit table once per controller kind on a fresh
+simulator — network instantiation included, but *without* re-drawing
+anything — and assemble a serializable :class:`ScenarioResult` with
+per-circuit samples, probe time series and engine accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.stats import EmpiricalCdf
+from ..serialize import Serializable
+from ..sim.simulator import Simulator
+from ..tor.circuit import CircuitFlow, CircuitSpec
+from .cache import PlanCache
+from .netgen import GeneratedNetwork, instantiate_network
+from .probes import ProbeSeries
+from .spec import PlannedCircuit, Scenario, ScenarioPlan, plan_scenario
+from .workloads import WorkloadRun
+
+__all__ = [
+    "KindRun",
+    "ScenarioCircuitSample",
+    "ScenarioResult",
+    "run_planned",
+    "run_scenario",
+]
+
+
+@dataclass
+class ScenarioCircuitSample(Serializable):
+    """One planned circuit's measurements under one controller kind."""
+
+    index: int
+    circuit_id: int
+    #: 0 = initial arrival wave, >= 1 = churn re-arrival.
+    generation: int
+    #: The workload part's registry name ("bulk", "interactive", ...).
+    workload: str
+    source: str
+    sink: str
+    relays: List[str]
+    payload_bytes: int
+    start_time: float
+    time_to_first_byte: float
+    time_to_last_byte: float
+    goodput_bytes_per_second: float
+    #: Seconds the source controller spent in its start-up phase;
+    #: ``None`` when the transfer completed without leaving start-up.
+    startup_duration: Optional[float]
+    #: When the circuit was torn down (departures enabled), else ``None``.
+    departed_at: Optional[float] = None
+    #: Per-message delivery latencies (interactive workloads).
+    message_latencies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ScenarioResult(Serializable):
+    """Per-kind samples, probe series and engine accounting."""
+
+    scenario: Scenario
+    #: Content hash of the spec (the plan-cache key of this run).
+    spec_hash: str
+    #: The relay every circuit crosses, when the topology forces one.
+    bottleneck_relay: Optional[str]
+    #: controller kind -> one sample per planned circuit, plan order.
+    samples: Dict[str, List[ScenarioCircuitSample]]
+    #: controller kind -> probe series (one per probe × target).
+    probes: Dict[str, List[ProbeSeries]]
+    #: controller kind -> simulator events executed for the whole run.
+    events_executed: Dict[str, int]
+
+    # --- analysis helpers -------------------------------------------------
+
+    @property
+    def run_kinds(self) -> List[str]:
+        """The controller kinds that actually ran (run order).
+
+        A subset of ``scenario.kinds`` when the run was restricted via
+        ``run_planned(plan, kinds=...)``.
+        """
+        return list(self.samples)
+
+    def of_workload(
+        self, kind: str, workload: Optional[str] = None
+    ) -> List[ScenarioCircuitSample]:
+        """Samples for *kind*, optionally restricted to one workload part."""
+        rows = self.samples[kind]
+        if workload is None:
+            return list(rows)
+        return [s for s in rows if s.workload == workload]
+
+    def steady_samples(
+        self, kind: str, settle_time: Optional[float] = None
+    ) -> List[ScenarioCircuitSample]:
+        """Samples from circuits that arrived at steady state.
+
+        Circuits started before the churn process's settle time (the
+        warm-up wave) are excluded; pass *settle_time* to override.
+        """
+        settle = (
+            self.scenario.churn.settle_time()
+            if settle_time is None
+            else settle_time
+        )
+        return [s for s in self.samples[kind] if s.start_time >= settle]
+
+    def ttlb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            [s.time_to_last_byte for s in self.of_workload(kind, workload)]
+        )
+
+    def ttfb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
+        return EmpiricalCdf(
+            [s.time_to_first_byte for s in self.of_workload(kind, workload)]
+        )
+
+    def median_improvement(self, workload: Optional[str] = None) -> float:
+        """Median TTLB difference, second kind − first (positive = faster)."""
+        kinds = self.scenario.kinds
+        if len(kinds) < 2:
+            raise ValueError(
+                "median_improvement needs two controller kinds, scenario "
+                "has %r" % (kinds,)
+            )
+        with_kind, without_kind = kinds[:2]
+        missing = [kind for kind in (with_kind, without_kind)
+                   if kind not in self.samples]
+        if missing:
+            raise ValueError(
+                "median_improvement needs kinds %r, but %r did not run "
+                "(ran: %r)" % (list(kinds[:2]), missing, self.run_kinds)
+            )
+        return (
+            self.ttlb_cdf(without_kind, workload).median
+            - self.ttlb_cdf(with_kind, workload).median
+        )
+
+    def startup_durations(self, kind: str) -> List[float]:
+        """Start-up phase lengths of the circuits that did exit it."""
+        return sorted(
+            s.startup_duration
+            for s in self.samples[kind]
+            if s.startup_duration is not None
+        )
+
+    def probe_series(
+        self, kind: str, probe: Optional[str] = None
+    ) -> List[ProbeSeries]:
+        """Probe series for *kind*, optionally restricted to one probe part."""
+        rows = self.probes[kind]
+        if probe is None:
+            return list(rows)
+        return [series for series in rows if series.probe == probe]
+
+
+class KindRun:
+    """One kind's live run — the context handed to probe installs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: GeneratedNetwork,
+        bottleneck_relay: Optional[str],
+        runs: Sequence[WorkloadRun],
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.bottleneck_relay = bottleneck_relay
+        self.runs = runs
+
+    def active(self) -> bool:
+        """Whether any planned circuit is still unfinished."""
+        return any(not run.done for run in self.runs)
+
+
+def run_scenario(
+    scenario: Scenario,
+    kinds: Optional[Sequence[str]] = None,
+    cache: Optional[PlanCache] = None,
+) -> ScenarioResult:
+    """Plan (or fetch the cached plan) and run *scenario*.
+
+    *kinds* optionally restricts which controller kinds actually run;
+    the default runs every kind of ``scenario.kinds``.
+    """
+    return run_planned(plan_scenario(scenario, cache=cache), kinds=kinds)
+
+
+def run_planned(
+    plan: ScenarioPlan, kinds: Optional[Sequence[str]] = None
+) -> ScenarioResult:
+    """Replay *plan* once per controller kind and assemble the result."""
+    scenario = plan.scenario
+    run_kinds = list(kinds) if kinds is not None else list(scenario.kinds)
+    samples: Dict[str, List[ScenarioCircuitSample]] = {}
+    probes: Dict[str, List[ProbeSeries]] = {}
+    events: Dict[str, int] = {}
+    for kind in run_kinds:
+        samples[kind], probes[kind], events[kind] = _run_kind(plan, kind)
+    return ScenarioResult(
+        scenario=scenario,
+        spec_hash=plan.spec_hash,
+        bottleneck_relay=plan.bottleneck_relay,
+        samples=samples,
+        probes=probes,
+        events_executed=events,
+    )
+
+
+def _run_kind(plan: ScenarioPlan, kind: str):
+    """One controller kind's full run of the planned scenario."""
+    scenario = plan.scenario
+    sim = Simulator()
+    network = instantiate_network(plan.network, sim)
+
+    runs: List[WorkloadRun] = []
+    for planned in plan.circuits:
+        workload = scenario.workloads[planned.workload]
+        spec = CircuitSpec(
+            circuit_id=planned.index + 1,
+            source=planned.source,
+            relays=list(planned.relays),
+            sink=planned.sink,
+        )
+        flow = CircuitFlow(
+            sim,
+            network.topology,
+            spec,
+            scenario.transport,
+            controller_kind=kind,
+            payload_bytes=workload.total_bytes(),
+            start_time=planned.start_time,
+            workload=workload.flow_workload,
+        )
+        runs.append(workload.attach(sim, flow, planned))
+
+    # Departures: completed circuits leave — their state is removed
+    # from every host along the path, so churn reaches a steady-state
+    # mix instead of accumulating finished circuits forever.
+    if scenario.churn.departures:
+        for run in runs:
+            run.enable_departure()
+
+    context = KindRun(sim, network, plan.bottleneck_relay, runs)
+    collectors = [
+        collector
+        for probe in scenario.probes
+        for collector in probe.install(sim, context)
+    ]
+
+    sim.run_until(scenario.max_sim_time)
+
+    unfinished = [
+        planned
+        for planned, run in zip(plan.circuits, runs)
+        if not run.done
+    ]
+    if unfinished:
+        raise RuntimeError(
+            "%d/%d circuits did not finish within %.1fs (kind=%s); first: "
+            "circuit %d (%s)"
+            % (
+                len(unfinished),
+                len(plan.circuits),
+                scenario.max_sim_time,
+                kind,
+                unfinished[0].index + 1,
+                scenario.workloads[unfinished[0].workload].part_name,
+            )
+        )
+
+    kind_samples = [
+        _make_sample(scenario, planned, run)
+        for planned, run in zip(plan.circuits, runs)
+    ]
+    return kind_samples, [c.series() for c in collectors], sim.events_executed
+
+
+def _make_sample(
+    scenario: Scenario, planned: PlannedCircuit, run: WorkloadRun
+) -> ScenarioCircuitSample:
+    workload = scenario.workloads[planned.workload]
+    first_byte = run.first_byte_time
+    assert first_byte is not None
+    ttlb = run.last_byte_time - planned.start_time
+    exit_time = run.flow.source_controller.startup_exit_time
+    total_bytes = workload.total_bytes()
+    return ScenarioCircuitSample(
+        index=planned.index,
+        circuit_id=planned.index + 1,
+        generation=planned.generation,
+        workload=workload.part_name,
+        source=planned.source,
+        sink=planned.sink,
+        relays=list(planned.relays),
+        payload_bytes=total_bytes,
+        start_time=planned.start_time,
+        time_to_first_byte=first_byte - planned.start_time,
+        time_to_last_byte=ttlb,
+        goodput_bytes_per_second=total_bytes / ttlb,
+        startup_duration=(
+            None if exit_time is None else exit_time - planned.start_time
+        ),
+        departed_at=run.departed_at,
+        message_latencies=list(run.message_latencies),
+    )

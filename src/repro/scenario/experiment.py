@@ -1,0 +1,118 @@
+"""The generic ``scenario`` experiment: run any declarative Scenario.
+
+Registering the scenario engine as an experiment gives every scenario —
+not just the migrated legacy harnesses — the full experiment surface
+for free: a ``repro scenario`` CLI subcommand, ``repro batch`` sweeps
+over scenario spec files, JSON output and cost estimation via
+``repro batch --plan``.
+
+The subcommand doubles as the parts browser::
+
+    repro scenario list          # registered parts, by kind
+    repro scenario run --spec scenario.json
+    repro scenario run           # the default demo scenario
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..experiments.api import Experiment, SpecError
+from ..experiments.registry import register_experiment
+from .cache import DEFAULT_CACHE
+from .engine import ScenarioResult, run_scenario
+from .spec import Scenario, plan_scenario
+
+__all__ = ["ScenarioExperiment"]
+
+
+@register_experiment
+class ScenarioExperiment(Experiment):
+    """The declarative-scenario harness behind ``repro scenario``."""
+
+    name = "scenario"
+    help = "declarative scenario: topology + workloads + churn + probes"
+    spec_type = Scenario
+    result_type = ScenarioResult
+
+    def run(self, spec: Scenario) -> ScenarioResult:
+        return run_scenario(spec, cache=DEFAULT_CACHE)
+
+    def estimate_cost(self, spec: Scenario) -> Optional[Dict[str, int]]:
+        return plan_scenario(spec, cache=DEFAULT_CACHE).estimated_cost()
+
+    # --- CLI ------------------------------------------------------------
+
+    def add_cli_arguments(self, parser: Any) -> None:
+        parser.add_argument(
+            "action", nargs="?", choices=("run", "list"), default="run",
+            help="'run' a scenario (default) or 'list' the registered parts",
+        )
+        parser.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="scenario spec JSON file (default: the built-in demo)",
+        )
+
+    def spec_from_cli(self, args: Any) -> Scenario:
+        if args.spec is None:
+            return self.default_spec()
+        try:
+            with open(args.spec) as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise SpecError("cannot read scenario spec: %s" % error)
+        except json.JSONDecodeError as error:
+            raise SpecError(
+                "scenario spec %s is not valid JSON: %s" % (args.spec, error)
+            )
+        return Scenario.from_dict(data)
+
+    def render(self, result: ScenarioResult) -> str:
+        from ..report import format_table
+
+        scenario = result.scenario
+        # Iterate the kinds that actually ran, not scenario.kinds: a
+        # result from run_planned(plan, kinds=[...]) holds a subset.
+        run_kinds = result.run_kinds
+        workload_names = [w.part_name for w in scenario.workloads]
+        rows = []
+        for workload in workload_names:
+            for kind in run_kinds:
+                samples = result.of_workload(kind, workload)
+                if not samples:
+                    continue
+                ttlb = result.ttlb_cdf(kind, workload)
+                ttfb = result.ttfb_cdf(kind, workload)
+                rows.append(
+                    [workload, kind, len(samples), ttfb.median, ttlb.median]
+                )
+        title = "Scenario: %d circuits (%s)" % (
+            len(result.samples[run_kinds[0]]) if run_kinds else 0,
+            ", ".join(workload_names),
+        )
+        if result.bottleneck_relay:
+            title += " through bottleneck %s" % result.bottleneck_relay
+        lines = [
+            format_table(
+                ["workload", "controller", "circuits",
+                 "median TTFB [s]", "median TTLB [s]"],
+                rows,
+                title=title,
+            )
+        ]
+        for kind in run_kinds:
+            for series in result.probes.get(kind, []):
+                lines.append(
+                    "probe %s@%s (%s): mean %.3f peak %.3f over %d samples"
+                    % (series.probe, series.target, kind,
+                       series.mean, series.peak, len(series.values))
+                )
+        lines.append(
+            "engine events: %s"
+            % ", ".join(
+                "%s=%d" % (kind, result.events_executed[kind])
+                for kind in run_kinds
+            )
+        )
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Instrumentation probes: time series sampled while a scenario runs.
+
+Probes turn the previously unused :class:`~repro.sim.monitor.PeriodicSampler`
+into a first-class scenario part: each probe installs one sampler per
+target relay and surfaces the sampled grid as serializable
+:class:`ProbeSeries` rows in the scenario result, keyed by controller
+kind — so "what did the bottleneck look like over time, with vs without
+CircuitStart" is a field access, not a bespoke harness.
+
+* :class:`UtilizationProbe` — per-relay access-link utilization: the
+  fraction of each sampling interval the relay's egress spent sending
+  (bytes sent in the interval over interval × link rate).  A packet
+  whose serialization starts at the very end of an interval counts
+  wholly toward that interval, so a saturated link can read slightly
+  above 1.0 on a single sample.
+* :class:`QueueDepthProbe` — the relay egress queue depth in packets,
+  the standing-queue signal CircuitStart's Vegas detector keys on.
+
+Both accept ``scope="bottleneck"`` (the scenario's designated
+bottleneck relay only) or ``scope="relays"`` (every relay).  Samplers
+stop once every planned circuit has completed, so probes never keep an
+otherwise finished simulation ticking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+from ..serialize import Serializable
+from ..sim.monitor import PeriodicSampler
+from .parts import Probe, register_part
+
+__all__ = [
+    "ProbeSeries",
+    "QueueDepthProbe",
+    "UtilizationProbe",
+]
+
+_SCOPES = ("bottleneck", "relays")
+
+
+@dataclass
+class ProbeSeries(Serializable):
+    """One probe's sampled time series at one target relay."""
+
+    probe: str
+    target: str
+    times: List[float]
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        """Mean sampled value (0.0 when nothing was sampled)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def peak(self) -> float:
+        """Largest sampled value (0.0 when nothing was sampled)."""
+        return max(self.values, default=0.0)
+
+
+class _Collector:
+    """Binds a sampler to its target for post-run series assembly."""
+
+    def __init__(self, probe_name: str, target: str, sampler: PeriodicSampler) -> None:
+        self.probe_name = probe_name
+        self.target = target
+        self.sampler = sampler
+
+    def series(self) -> ProbeSeries:
+        return ProbeSeries(
+            probe=self.probe_name,
+            target=self.target,
+            times=list(self.sampler.times),
+            values=list(self.sampler.values),
+        )
+
+
+def _check_scope(scope: str) -> None:
+    if scope not in _SCOPES:
+        raise ValueError(
+            "probe scope must be one of %s, got %r" % (_SCOPES, scope)
+        )
+
+
+def _validate_against(probe: Any, scenario: Any) -> None:
+    """Spec-time check shared by the relay probes (Probe.validate)."""
+    if (
+        probe.scope == "bottleneck"
+        and not scenario.topology.designates_bottleneck()
+    ):
+        raise ValueError(
+            "%s probe with scope='bottleneck' needs a topology source that "
+            "designates a bottleneck relay (e.g. GeneratedTopology with "
+            "force_bottleneck=True); use scope='relays' otherwise"
+            % probe.part_name
+        )
+
+
+def _targets(scope: str, context: Any, probe_name: str) -> List[str]:
+    if scope == "relays":
+        return list(context.network.relay_names)
+    if context.bottleneck_relay is None:
+        # Normally unreachable: Probe.validate rejects this pairing at
+        # spec construction.  Kept as a backstop for hand-built plans.
+        raise RuntimeError(
+            "%s probe with scope='bottleneck' needs a topology source that "
+            "designates a bottleneck relay (e.g. GeneratedTopology with "
+            "force_bottleneck=True); use scope='relays' otherwise" % probe_name
+        )
+    return [context.bottleneck_relay]
+
+
+def _relay_interface(context: Any, relay: str) -> Any:
+    # Star topology: a relay has exactly one interface — its access
+    # link toward the hub, which carries everything it forwards.
+    return context.network.topology.node(relay).interfaces[0]
+
+
+@register_part
+@dataclass(frozen=True)
+class UtilizationProbe(Probe):
+    """Samples per-relay access-link utilization on a fixed grid."""
+
+    interval: float = 0.25
+    scope: str = "bottleneck"
+    part: str = field(default="utilization", init=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                "sampling interval must be positive, got %r" % self.interval
+            )
+        _check_scope(self.scope)
+
+    def validate(self, scenario: Any) -> None:
+        _validate_against(self, scenario)
+
+    def _make_probe(self, interface: Any, rate_bps: float) -> Callable[[], float]:
+        capacity = rate_bps * self.interval  # bytes sendable per interval
+        last = [interface.bytes_sent]
+
+        def probe() -> float:
+            sent = interface.bytes_sent
+            delta = sent - last[0]
+            last[0] = sent
+            return delta / capacity
+
+        return probe
+
+    def install(self, sim: Any, context: Any) -> List[_Collector]:
+        collectors = []
+        for relay in _targets(self.scope, context, self.part):
+            interface = _relay_interface(context, relay)
+            rate = context.network.relay_rate(relay).bytes_per_second
+            sampler = PeriodicSampler(
+                sim,
+                self._make_probe(interface, rate),
+                self.interval,
+                while_predicate=context.active,
+                name="utilization:%s" % relay,
+            )
+            collectors.append(_Collector(self.part, relay, sampler))
+        return collectors
+
+
+@register_part
+@dataclass(frozen=True)
+class QueueDepthProbe(Probe):
+    """Samples per-relay egress queue depth (packets) on a fixed grid."""
+
+    interval: float = 0.25
+    scope: str = "bottleneck"
+    part: str = field(default="queue-depth", init=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                "sampling interval must be positive, got %r" % self.interval
+            )
+        _check_scope(self.scope)
+
+    def validate(self, scenario: Any) -> None:
+        _validate_against(self, scenario)
+
+    def install(self, sim: Any, context: Any) -> List[_Collector]:
+        collectors = []
+        for relay in _targets(self.scope, context, self.part):
+            interface = _relay_interface(context, relay)
+            sampler = PeriodicSampler(
+                sim,
+                lambda interface=interface: float(interface.backlog_packets),
+                self.interval,
+                while_predicate=context.active,
+                name="queue-depth:%s" % relay,
+            )
+            collectors.append(_Collector(self.part, relay, sampler))
+        return collectors

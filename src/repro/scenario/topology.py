@@ -1,0 +1,138 @@
+"""Topology source parts: where the network under test comes from.
+
+A topology source owns the whole *where* of a scenario: it plans the
+network (pure data, cacheable), nominates the bottleneck relay, selects
+every circuit's relay path and maps circuits onto endpoint hosts.
+
+:class:`GeneratedTopology` wraps the seeded star generator
+(:mod:`repro.scenario.netgen`, historically
+``repro.experiments.netgen``) and supports both path regimes the
+experiments use:
+
+* ``force_bottleneck=False`` — Tor-style bandwidth-weighted paths via
+  :class:`~repro.tor.path_selection.PathSelector` (the Figure-1c CDF
+  recipe);
+* ``force_bottleneck=True`` — the network-scale recipe: the slowest
+  generated relay is forced into the middle position of *every* path,
+  so contention at that relay is systemic, not incidental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..tor.path_selection import PathSelector
+from .churn import stream_name
+from .netgen import NetworkConfig, NetworkPlan, plan_network
+from .parts import TopologySource, register_part
+
+__all__ = ["GeneratedTopology", "forced_bottleneck_paths"]
+
+
+def forced_bottleneck_paths(
+    rng: Any,
+    directory: Any,
+    bottleneck: str,
+    hops: int,
+    count: int,
+) -> List[List[str]]:
+    """*count* relay paths with *bottleneck* forced into every middle.
+
+    The remaining positions are sampled bandwidth-weighted without
+    replacement (Tor-style), excluding the bottleneck so it appears
+    exactly once per path.  Deterministic given *rng*.
+    """
+    middle = hops // 2
+    paths: List[List[str]] = []
+    for __ in range(count):
+        others = [
+            relay.name
+            for relay in directory.weighted_sample(
+                rng, hops - 1, exclude=[bottleneck]
+            )
+        ]
+        paths.append(others[:middle] + [bottleneck] + others[middle:])
+    return paths
+
+
+@register_part
+@dataclass(frozen=True)
+class GeneratedTopology(TopologySource):
+    """The seeded random star network of Tor relays."""
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Force the slowest generated relay into every path's middle
+    #: position (the network-scale shared-bottleneck recipe).
+    force_bottleneck: bool = False
+    part: str = field(default="generated", init=False)
+
+    # --- planning -------------------------------------------------------
+
+    def validate(self, scenario: Any) -> None:
+        """Reject scenario/topology combinations that cannot plan."""
+        if self.network.relay_count < scenario.hops:
+            raise ValueError(
+                "%d relays cannot form %d-hop paths"
+                % (self.network.relay_count, scenario.hops)
+            )
+
+    def designates_bottleneck(self) -> bool:
+        return self.force_bottleneck
+
+    def network_fingerprint(self, scenario: Any) -> Dict[str, Any]:
+        """The network-plan cache key payload.
+
+        Only the network config and the seed shape the generated
+        network — ``force_bottleneck`` affects path planning, not the
+        network itself — so scenarios differing in any other field
+        still share one cached :class:`NetworkPlan`.
+        """
+        from ..serialize import encode
+
+        return {"network": encode(self.network), "seed": scenario.seed}
+
+    def plan_network(self, scenario: Any, streams: Any) -> NetworkPlan:
+        return plan_network(self.network, streams)
+
+    def select_bottleneck(self, scenario: Any, plan: NetworkPlan) -> Optional[str]:
+        """The slowest generated relay (name breaks rate ties)."""
+        if not self.force_bottleneck:
+            return None
+        return min(
+            plan.relay_names,
+            key=lambda name: (plan.relay_rate(name).bytes_per_second, name),
+        )
+
+    def plan_paths(
+        self,
+        scenario: Any,
+        streams: Any,
+        plan: NetworkPlan,
+        directory: Any,
+        bottleneck: Optional[str],
+        count: int,
+    ) -> List[List[str]]:
+        rng = streams.stream(stream_name(scenario.rng_namespace, "paths"))
+        if self.force_bottleneck:
+            assert bottleneck is not None
+            return forced_bottleneck_paths(
+                rng, directory, bottleneck, scenario.hops, count
+            )
+        selector = PathSelector(directory, rng)
+        return [
+            [relay.name for relay in selector.select_path(scenario.hops)]
+            for __ in range(count)
+        ]
+
+    def endpoints(self, plan: NetworkPlan, index: int) -> Tuple[str, str]:
+        """(source, sink) hosts of circuit *index*.
+
+        Endpoints are reused round-robin — fewer endpoints than
+        circuits is intentional at network scale (clients run several
+        circuits, like a Tor client does).
+        """
+        return (
+            plan.server_names[index % len(plan.server_names)],
+            plan.client_names[index % len(plan.client_names)],
+        )

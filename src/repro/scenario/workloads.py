@@ -1,0 +1,248 @@
+"""Workload parts: what one circuit carries.
+
+Two workload classes ship with the scenario API, both registered under
+:class:`~repro.scenario.parts.Workload`:
+
+* :class:`BulkWorkload` — the paper's evaluation workload, "transferring
+  a fixed amount of data": one :class:`~repro.tor.apps.BulkSource`
+  injects the whole payload at the start time and the transport's
+  windows pace everything from there.
+* :class:`InteractiveWorkload` — a *real* interactive circuit, backed by
+  the stream layer (:class:`~repro.tor.streams.StreamScheduler` and
+  :class:`~repro.tor.streams.MultiStreamSink`) instead of the
+  small-bulk-transfer stand-in earlier network-scale harnesses used: the
+  source queues a fixed number of small messages on an open-loop timer
+  (a page fetch followed by its resources), and the sink timestamps
+  every message's delivery, so per-message latency under network-scale
+  load comes out of the run for free.
+
+A workload part has two lives.  At *planning* time it is pure data —
+:meth:`~repro.scenario.parts.Workload.total_bytes` feeds the cost
+estimator and the goodput denominator.  At *run* time,
+:meth:`~repro.scenario.parts.Workload.attach` installs the application
+endpoints on a built :class:`~repro.tor.circuit.CircuitFlow` and
+returns a :class:`WorkloadRun` handle the engine polls for completion
+and mines for the per-circuit sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional
+
+from ..tor.streams import MultiStreamSink, StreamScheduler
+from ..transport.config import CELL_PAYLOAD
+from ..units import kib
+from .parts import Workload, register_part
+
+__all__ = [
+    "BulkWorkload",
+    "InteractiveWorkload",
+    "WorkloadRun",
+]
+
+
+class WorkloadRun:
+    """Runtime handle of one circuit's workload (engine-facing).
+
+    Subclasses fill in the completion/timing surface; the base class
+    owns the departure wiring: when the scenario's churn process tears
+    completed circuits down, :meth:`enable_departure` subscribes the
+    teardown to the workload's completion waiter.
+    """
+
+    def __init__(self, flow: Any) -> None:
+        self.flow = flow
+        self.departed_at: Optional[float] = None
+
+    # --- completion surface (subclass responsibility) ------------------
+
+    @property
+    def done(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> Any:
+        """The :class:`~repro.sim.process.Waiter` triggered at the last byte."""
+        raise NotImplementedError
+
+    @property
+    def first_byte_time(self) -> Optional[float]:
+        raise NotImplementedError
+
+    @property
+    def last_byte_time(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def message_latencies(self) -> List[float]:
+        """Queue-to-delivery latency per message (interactive only)."""
+        return []
+
+    # --- departures -----------------------------------------------------
+
+    def enable_departure(self) -> None:
+        """Tear the circuit down (and timestamp it) when the workload ends."""
+        self.completed.subscribe(self._depart)
+
+    def _depart(self, at: float) -> None:
+        self.departed_at = at
+        self.flow.teardown()
+
+
+class _BulkRun(WorkloadRun):
+    """Wraps the flow's built-in bulk source/sink pair."""
+
+    @property
+    def done(self) -> bool:
+        return self.flow.done
+
+    @property
+    def completed(self) -> Any:
+        return self.flow.sink.completed
+
+    @property
+    def first_byte_time(self) -> Optional[float]:
+        return self.flow.sink.first_cell_time
+
+    @property
+    def last_byte_time(self) -> float:
+        return self.flow.sink.completed.value
+
+
+@register_part
+@dataclass(frozen=True)
+class BulkWorkload(Workload):
+    """A fixed-size download (the paper's evaluation workload)."""
+
+    weight: float = 1.0
+    payload_bytes: int = kib(300)
+    part: str = field(default="bulk", init=False)
+
+    #: The engine builds the flow with its built-in bulk apps.
+    flow_workload: ClassVar[str] = "bulk"
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("workload weight must be >= 0, got %r" % self.weight)
+        if self.payload_bytes <= 0:
+            raise ValueError(
+                "payload_bytes must be positive, got %r" % self.payload_bytes
+            )
+
+    def total_bytes(self) -> int:
+        return self.payload_bytes
+
+    def attach(self, sim: Any, flow: Any, planned: Any) -> WorkloadRun:
+        # CircuitFlow(workload="bulk") already installed the source and
+        # sink; the handle only adapts their surface.
+        return _BulkRun(flow)
+
+
+class _InteractiveRun(WorkloadRun):
+    """Stream-scheduler-backed interactive fetch on one circuit."""
+
+    def __init__(self, sim: Any, flow: Any, workload: "InteractiveWorkload") -> None:
+        super().__init__(flow)
+        self.sim = sim
+        self.workload = workload
+        circuit_id = flow.spec.circuit_id
+        self.scheduler = StreamScheduler(flow.hop_senders[0], circuit_id)
+        self.stream = self.scheduler.open_stream(1)
+        self.sink = MultiStreamSink(
+            sim, circuit_id, expected_bytes=workload.total_bytes()
+        )
+        flow.hosts[-1].attach_sink_app(circuit_id, self.sink)
+        self.records: List[Any] = []
+        self._delivered: Dict[int, float] = {}
+        self.sink.on_message = self._on_message
+        self._sent = 0
+        sim.schedule_at(max(flow.start_time, sim.now), self._send_next)
+
+    def _on_message(self, stream_id: int, message_id: int, at: float) -> None:
+        self._delivered[message_id] = at
+
+    def _send_next(self) -> None:
+        # Open-loop: messages go out on the planned timer regardless of
+        # delivery, like a page pulling its resources.  The final
+        # message absorbs the configured remainder so the circuit's
+        # total matches the declared payload exactly.
+        workload = self.workload
+        size = workload.message_bytes
+        if self._sent == workload.message_count - 1:
+            size += workload.remainder_bytes
+        self.records.append(self.scheduler.send_message(1, size, self.sim.now))
+        self._sent += 1
+        if self._sent < workload.message_count:
+            self.sim.schedule(workload.message_interval, self._send_next)
+
+    @property
+    def done(self) -> bool:
+        return self.sink.done
+
+    @property
+    def completed(self) -> Any:
+        return self.sink.completed
+
+    @property
+    def first_byte_time(self) -> Optional[float]:
+        return self.sink.first_cell_time
+
+    @property
+    def last_byte_time(self) -> float:
+        return self.sink.completed.value
+
+    @property
+    def message_latencies(self) -> List[float]:
+        return [
+            self._delivered[record.message_id] - record.queued_at
+            for record in self.records
+            if record.message_id in self._delivered
+        ]
+
+
+@register_part
+@dataclass(frozen=True)
+class InteractiveWorkload(Workload):
+    """A short interactive fetch: small messages on an open-loop timer."""
+
+    weight: float = 1.0
+    message_bytes: int = kib(5)
+    message_count: int = 5
+    message_interval: float = 0.1
+    #: Extra bytes appended to the final message, so adapters can hit
+    #: an exact total payload that does not divide evenly.
+    remainder_bytes: int = 0
+    part: str = field(default="interactive", init=False)
+
+    #: The engine builds a bare flow; :meth:`attach` installs the
+    #: stream scheduler and the multi-stream sink itself.
+    flow_workload: ClassVar[str] = "none"
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("workload weight must be >= 0, got %r" % self.weight)
+        if self.message_bytes <= 0 or self.message_count <= 0:
+            raise ValueError(
+                "interactive workload needs positive message size and count"
+            )
+        if self.message_interval < 0:
+            raise ValueError(
+                "message_interval must be >= 0, got %r" % self.message_interval
+            )
+        if self.remainder_bytes < 0:
+            raise ValueError(
+                "remainder_bytes must be >= 0, got %r" % self.remainder_bytes
+            )
+
+    def total_bytes(self) -> int:
+        return self.message_bytes * self.message_count + self.remainder_bytes
+
+    def estimated_cells(self) -> int:
+        """Cells are framed per message, not over the contiguous total."""
+        full = -(-self.message_bytes // CELL_PAYLOAD)
+        last = -(-(self.message_bytes + self.remainder_bytes) // CELL_PAYLOAD)
+        return full * (self.message_count - 1) + last
+
+    def attach(self, sim: Any, flow: Any, planned: Any) -> WorkloadRun:
+        return _InteractiveRun(sim, flow, self)

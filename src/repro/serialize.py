@@ -1,0 +1,205 @@
+"""Structural, type-hint-driven JSON serialization.
+
+The serialization core behind every spec and result in the repository:
+:func:`encode` turns any dataclass into plain JSON-able data
+structurally (dataclasses become dicts, tuples become lists,
+:class:`~repro.units.Rate` becomes its bytes-per-second payload, a
+:class:`~repro.analysis.trace.TraceRecorder` becomes its sample
+arrays), and :func:`decode` rebuilds the typed object from the target
+class's dataclass field annotations.  No per-class ``__serialize__``
+boilerplate is needed.
+
+This module is deliberately dependency-light (units and the trace
+recorder only) so both the experiment layer
+(:mod:`repro.experiments.api`, which re-exports everything here) and
+the scenario layer (:mod:`repro.scenario`) can build on it without
+import cycles.
+
+Polymorphic families — the scenario *parts* — hook into :func:`decode`
+by exposing a ``resolve_part_type(data) -> type`` classmethod on their
+abstract base: a field annotated with the base class then decodes into
+whichever registered subclass the payload's discriminator names.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import json
+import typing
+from dataclasses import MISSING, fields, is_dataclass
+from typing import Any, Dict
+
+from .analysis.trace import TraceRecorder
+from .units import Rate
+
+__all__ = [
+    "Serializable",
+    "SpecError",
+    "decode",
+    "encode",
+]
+
+
+class SpecError(ValueError):
+    """A spec could not be built from the given inputs (CLI or JSON)."""
+
+
+# ----------------------------------------------------------------------
+# Structural JSON encoding/decoding
+# ----------------------------------------------------------------------
+
+
+def encode(obj: Any) -> Any:
+    """Convert *obj* into plain JSON-able data (dicts/lists/scalars).
+
+    Handles dataclasses (recursively, by field), ``Rate`` (stored as
+    bytes/second), ``TraceRecorder`` (stored as its sample arrays),
+    tuples/lists, and string- or int-keyed dicts.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Rate):
+        return {"bytes_per_second": obj.bytes_per_second}
+    if isinstance(obj, TraceRecorder):
+        return {
+            "name": obj.name,
+            "times": list(obj.times),
+            "values": list(obj.values),
+        }
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: encode(getattr(obj, f.name)) for f in fields(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [encode(item) for item in obj]
+    if isinstance(obj, dict):
+        return {_encode_key(key): encode(value) for key, value in obj.items()}
+    raise TypeError("cannot encode %r of type %s" % (obj, type(obj).__name__))
+
+
+def _encode_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, int):
+        return str(key)
+    raise TypeError("unsupported dict key %r (want str or int)" % (key,))
+
+
+def decode(target_type: Any, data: Any) -> Any:
+    """Rebuild a value of *target_type* from :func:`encode` output.
+
+    The inverse of :func:`encode`, driven by typing annotations: the
+    declared dataclass field types say whether a JSON number is a plain
+    float or a :class:`Rate`, whether a JSON list is a list or a tuple,
+    and which dataclass a nested dict reconstructs.
+    """
+    if target_type is Any or target_type is None or target_type is type(None):
+        return data
+    origin = typing.get_origin(target_type)
+    if origin is typing.Union:
+        if data is None:
+            return None
+        args = [a for a in typing.get_args(target_type) if a is not type(None)]
+        if len(args) != 1:
+            raise TypeError("cannot decode ambiguous union %r" % (target_type,))
+        return decode(args[0], data)
+    if target_type is float:
+        return float(data)
+    if target_type in (int, str, bool):
+        return data
+    if target_type is Rate:
+        return Rate(data["bytes_per_second"])
+    if target_type is TraceRecorder:
+        recorder = TraceRecorder(data["name"])
+        recorder.times = [float(t) for t in data["times"]]
+        recorder.values = [float(v) for v in data["values"]]
+        return recorder
+    if isinstance(target_type, type):
+        # Polymorphic hook: a class family (e.g. scenario parts) may
+        # expose ``resolve_part_type(data) -> concrete class`` so a
+        # field annotated with the (possibly abstract, non-dataclass)
+        # base decodes into whichever registered subclass the payload
+        # names.
+        resolver = getattr(target_type, "resolve_part_type", None)
+        if resolver is not None and isinstance(data, dict):
+            target_type = resolver(data)
+    if isinstance(target_type, type) and is_dataclass(target_type):
+        return _decode_dataclass(target_type, data)
+    if origin is list or target_type is list:
+        args = typing.get_args(target_type)
+        element = args[0] if args else Any
+        return [decode(element, item) for item in data]
+    if origin is collections.abc.Sequence:
+        # Abstract Sequence fields sit in frozen specs: rebuild as tuples.
+        (element,) = typing.get_args(target_type) or (Any,)
+        return tuple(decode(element, item) for item in data)
+    if origin is tuple or target_type is tuple:
+        args = typing.get_args(target_type)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(decode(args[0], item) for item in data)
+        if args:
+            return tuple(decode(a, item) for a, item in zip(args, data))
+        return tuple(data)
+    if origin is dict or target_type is dict:
+        args = typing.get_args(target_type)
+        key_type, value_type = args if args else (Any, Any)
+        return {
+            _decode_key(key_type, key): decode(value_type, value)
+            for key, value in data.items()
+        }
+    # Unparameterized / unknown annotation: pass the data through.
+    return data
+
+
+def _decode_key(key_type: Any, key: str) -> Any:
+    return int(key) if key_type is int else key
+
+
+def _decode_dataclass(cls: type, data: Dict[str, Any]) -> Any:
+    hints = typing.get_type_hints(cls)
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        # A typo'd field silently falling back to its default would
+        # corrupt sweeps; reject instead.
+        raise SpecError(
+            "%s has no field(s) %s (known: %s)"
+            % (cls.__name__, ", ".join(sorted(map(repr, unknown))),
+               ", ".join(sorted(known)))
+        )
+    kwargs: Dict[str, Any] = {}
+    for f in fields(cls):
+        if not f.init:
+            continue
+        if f.name in data:
+            kwargs[f.name] = decode(hints.get(f.name, Any), data[f.name])
+        elif f.default is MISSING and f.default_factory is MISSING:
+            raise SpecError(
+                "%s is missing required field %r" % (cls.__name__, f.name)
+            )
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Mixin
+# ----------------------------------------------------------------------
+
+
+class Serializable:
+    """Mixin giving dataclasses a JSON dict round-trip."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This object as plain JSON-able data."""
+        return encode(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Serializable":
+        """Rebuild an instance from :meth:`to_dict` output."""
+        return decode(cls, data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """This object as a JSON string (``json.dumps`` kwargs pass through)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Serializable":
+        """Rebuild an instance from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -21,6 +21,17 @@ class PeriodicSampler:
     Sampling starts immediately (a sample at the start time) and stops
     when :meth:`stop` is called, when *until* is reached, or when the
     optional *while_predicate* turns false — whichever comes first.
+    Once stopped, no tick remains in the event queue: a finished
+    sampler never keeps ``Simulator.run()`` alive.
+
+    The sampler is compatible with the park-the-clock semantics of
+    ``run_until(time, max_events=...)``: when the loop halts early the
+    clock stays at the last executed event, so the pending tick is
+    never "in the past" and a resumed run continues the grid exactly
+    (no duplicated or skipped samples).  Under the old always-advance
+    semantics the pending tick could end up behind the clock and raise
+    a spurious ``ClockError`` — the regression test pins the fixed
+    behaviour.
     """
 
     def __init__(
@@ -67,6 +78,13 @@ class PeriodicSampler:
             return
         self.times.append(self.sim.now)
         self.values.append(float(self.probe()))
+        if self.until is not None and self.sim.now + self.interval > self.until:
+            # The next tick would land beyond the horizon: don't leave a
+            # dead event in the queue.  (It would never sample, but it
+            # would keep ``run()`` from terminating and — under the
+            # park-the-clock ``run_until(max_events=...)`` semantics —
+            # linger as a pending event across resumed runs.)
+            return
         self.sim.schedule(self.interval, self._tick)
 
 

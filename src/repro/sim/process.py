@@ -62,11 +62,21 @@ class Waiter:
         for callback in callbacks:
             self._sim.call_soon(callback, value)
 
-    def _subscribe(self, callback: Callable[[Any], None]) -> None:
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke *callback(value)* when triggered (soon, if already).
+
+        The callback-world counterpart of yielding the waiter from a
+        process: it always runs via ``call_soon``, never synchronously
+        inside :meth:`trigger`, so subscribers cannot reorder the
+        triggering event's own work.
+        """
         if self._triggered:
             self._sim.call_soon(callback, self._value)
         else:
             self._callbacks.append(callback)
+
+    # Backwards-compatible private spelling (Process uses it).
+    _subscribe = subscribe
 
 
 #: What a process generator may yield.

@@ -176,6 +176,18 @@ class CircuitFlow:
             )
         return self.sink.completed.value - self.start_time
 
+    def teardown(self) -> None:
+        """Depart: remove the circuit's state at every host on the path.
+
+        Used by churn scenarios when a completed circuit leaves the
+        network.  Hop senders are closed (retransmission timers
+        cancelled) and each host forgets the circuit; cells still in
+        flight toward a departed circuit are dropped and counted by the
+        hosts instead of raising.  Idempotent.
+        """
+        for host in self.hosts:
+            host.teardown(self.spec.circuit_id)
+
     def trace_cwnd(self, recorder) -> None:
         """Record the source's cwnd evolution into *recorder*.
 

@@ -82,6 +82,11 @@ class TorHost:
         self.node = node
         self.circuits: Dict[int, CircuitState] = {}
         self._established_callbacks: Dict[int, Callable[[], None]] = {}
+        #: Circuits torn down at this host; cells still in flight when a
+        #: circuit departs are dropped silently (and counted) instead of
+        #: raising, so churn departures never crash on straggler cells.
+        self.retired: set = set()
+        self.late_cells = 0
         self.feedback_sent = 0
         self.cells_forwarded = 0
         self.cells_delivered = 0
@@ -152,9 +157,16 @@ class TorHost:
         state.sink = sink_app
 
     def teardown(self, circuit_id: int) -> None:
-        """Forget all local state for *circuit_id* (idempotent)."""
-        self.circuits.pop(circuit_id, None)
+        """Forget all local state for *circuit_id* (idempotent).
+
+        The circuit's sender (if any) is closed first so its pending
+        retransmission timer leaves the event queue with it.
+        """
+        state = self.circuits.pop(circuit_id, None)
+        if state is not None and state.sender is not None:
+            state.sender.close()
         self._established_callbacks.pop(circuit_id, None)
+        self.retired.add(circuit_id)
 
     def expect_established(
         self, circuit_id: int, callback: Callable[[], None]
@@ -169,6 +181,9 @@ class TorHost:
             )
         state = CircuitState(circuit_id)
         self.circuits[circuit_id] = state
+        # A re-registered id is live again (ids may be recycled by
+        # callers); stop treating its cells as stragglers.
+        self.retired.discard(circuit_id)
         return state
 
     def _state(self, circuit_id: int) -> CircuitState:
@@ -244,6 +259,9 @@ class TorHost:
             raise ValueError("unhandled cell kind %r" % cell.kind)
 
     def _handle_feedback(self, cell: FeedbackCell) -> None:
+        if cell.circuit_id in self.retired:
+            self.late_cells += 1
+            return
         state = self._state(cell.circuit_id)
         if state.sender is None:
             raise RuntimeError(
@@ -253,6 +271,9 @@ class TorHost:
         state.sender.on_feedback(cell.acked_seq)
 
     def _handle_data(self, cell: DataCell) -> None:
+        if cell.circuit_id in self.retired:
+            self.late_cells += 1
+            return
         state = self._state(cell.circuit_id)
         # In-order acceptance (go-back-N receiver).  On the default
         # lossless substrate every arrival matches, so this is a no-op;

@@ -164,6 +164,10 @@ class MultiStreamSink:
         self.circuit_id = circuit_id
         self.expected_bytes = expected_bytes
         self.received_bytes = 0
+        #: When the first cell (any stream) arrived — the circuit's
+        #: time-to-first-byte reference, mirroring SinkApp.
+        self.first_cell_time: Optional[float] = None
+        self.last_cell_time: Optional[float] = None
         self.per_stream_bytes: Dict[int, int] = {}
         self.delivered_messages: List[Tuple[int, int, float]] = []
         self.completed = Waiter(sim)
@@ -176,6 +180,9 @@ class MultiStreamSink:
 
     def on_cell(self, cell: DataCell) -> None:
         now = self.sim.now
+        if self.first_cell_time is None:
+            self.first_cell_time = now
+        self.last_cell_time = now
         self.received_bytes += cell.payload_bytes
         self.per_stream_bytes[cell.stream_id] = (
             self.per_stream_bytes.get(cell.stream_id, 0) + cell.payload_bytes

@@ -169,6 +169,24 @@ class HopSender:
         self.controller.on_cell_sent(now)
         self._transmit(cell, token)
 
+    def close(self) -> None:
+        """Release the hop: drop pending work and disarm the timer.
+
+        Called on circuit teardown (departure).  Buffered and unacked
+        cells are discarded and the retransmission timer — the only
+        event a dormant sender keeps in the queue — is cancelled, so a
+        departed circuit leaves nothing behind in the simulator.
+        """
+        self._buffer.clear()
+        self._send_times.clear()
+        self._unacked.clear()
+        self._retransmitted.clear()
+        self.cell_source = None
+        self.on_drained = None
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+
     def on_feedback(self, seq: int) -> None:
         """Process a feedback ("moving") message for hop sequence *seq*.
 

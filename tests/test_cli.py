@@ -163,3 +163,99 @@ def test_netscale_command_small(capsys):
     assert code == 0
     assert "Network scale" in out
     assert "median TTLB improvement" in out
+
+
+def test_netscale_churn_flags_build_churned_spec():
+    """--churn enables the open-loop process plus the utilization probe."""
+    from repro.experiments.registry import get_experiment
+    from repro.scenario import OpenLoopChurn, UtilizationProbe
+
+    parser = build_parser()
+    args = parser.parse_args([
+        "netscale", "--circuits", "8", "--relays", "8",
+        "--churn", "3.5", "--churn-horizon", "5.0",
+        "--probe-interval", "0.5",
+    ])
+    spec = get_experiment("netscale").spec_from_cli(args)
+    assert isinstance(spec.churn, OpenLoopChurn)
+    assert spec.churn.arrival_rate == 3.5
+    assert spec.churn.horizon == 5.0
+    assert spec.probes == (UtilizationProbe(interval=0.5),)
+    # Without --churn, the legacy one-shot wave (no probes).
+    args = parser.parse_args(["netscale", "--circuits", "8"])
+    spec = get_experiment("netscale").spec_from_cli(args)
+    assert spec.churn is None and spec.probes == ()
+
+
+def test_batch_plan_reports_costs(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "netscale", "spec": {
+            "circuit_count": 5,
+            "network": {"relay_count": 8, "client_count": 8,
+                        "server_count": 8}},
+         "label": "tiny"},
+        {"experiment": "optimal"},
+    ])
+    code = main(["batch", path, "--plan"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "job 0: netscale NetScaleConfig [tiny] ok  cost:" in captured.out
+    assert "cell-hops" in captured.out
+    assert "job 1: optimal OptimalConfig ok  cost: n/a" in captured.out
+    assert "estimated sweep cost: 1 of 2 jobs estimable" in captured.out
+
+
+def test_batch_plan_rejects_invalid_file(tmp_path, capsys):
+    path = _write_specs(tmp_path, [{"experiment": "teleport"}])
+    code = main(["batch", path, "--plan"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown experiment 'teleport'" in captured.err
+
+
+def test_scenario_list_command(capsys):
+    code = main(["scenario", "list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Registered scenario parts" in out
+    for marker in ("generated", "bulk", "interactive", "none",
+                   "open-loop", "utilization", "queue-depth"):
+        assert marker in out
+
+
+def test_scenario_list_json(capsys):
+    import json
+
+    code = main(["scenario", "list", "--json"])
+    rows = json.loads(capsys.readouterr().out)
+    assert code == 0
+    kinds = {row["kind"] for row in rows}
+    assert kinds == {"topology", "workload", "churn", "probe"}
+
+
+def test_scenario_run_from_spec_file(tmp_path, capsys):
+    import json
+
+    spec = {
+        "topology": {"part": "generated", "force_bottleneck": True,
+                     "network": {"relay_count": 8, "client_count": 6,
+                                 "server_count": 6}},
+        "workloads": [{"part": "bulk", "payload_bytes": 40960}],
+        "churn": {"part": "none", "start_window": 0.1},
+        "circuit_count": 3,
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(spec))
+    code = main(["scenario", "run", "--spec", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Scenario: 3 circuits" in out
+    assert "engine events" in out
+
+
+def test_scenario_run_rejects_bad_spec_file(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    code = main(["scenario", "run", "--spec", str(path)])
+    assert code == 2
+    assert "not valid JSON" in capsys.readouterr().err

@@ -36,6 +36,7 @@ EXPECTED_NAMES = [
     "interactive",
     "optimal",
     "netscale",
+    "scenario",
 ]
 
 
@@ -88,6 +89,23 @@ def fast_spec(name):
             interactive_payload_bytes=kib(10),
             network=NetworkConfig(relay_count=8, client_count=6,
                                   server_count=6),
+        )
+    if name == "scenario":
+        from repro.scenario import (
+            BulkWorkload,
+            GeneratedTopology,
+            NoChurn,
+            Scenario,
+        )
+
+        return Scenario(
+            topology=GeneratedTopology(
+                network=NetworkConfig(relay_count=8, client_count=4,
+                                      server_count=4)
+            ),
+            workloads=(BulkWorkload(payload_bytes=kib(100)),),
+            churn=NoChurn(start_window=0.1),
+            circuit_count=4,
         )
     raise AssertionError("unknown experiment %r" % name)
 

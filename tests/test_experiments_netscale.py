@@ -150,6 +150,82 @@ def test_render_mentions_bottleneck(result):
     assert "median TTLB improvement" in text
 
 
+def test_interactive_is_stream_backed(result):
+    """Interactive circuits carry per-message latencies (stream layer)."""
+    for kind in result.config.kinds:
+        for sample in result.of_workload(kind, INTERACTIVE):
+            assert sample.message_latencies
+            assert all(latency > 0 for latency in sample.message_latencies)
+        for sample in result.of_workload(kind, BULK):
+            assert sample.message_latencies == []
+
+
+def churn_config(circuits: int = 12) -> NetScaleConfig:
+    from repro.scenario import OpenLoopChurn, UtilizationProbe
+
+    return NetScaleConfig(
+        circuit_count=circuits,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        network=NetworkConfig(relay_count=10, client_count=10, server_count=10),
+        churn=OpenLoopChurn(start_window=1.0, arrival_rate=3.0, horizon=3.0),
+        probes=(UtilizationProbe(interval=0.25),),
+    )
+
+
+@pytest.fixture(scope="module")
+def churned() -> NetScaleResult:
+    return run_netscale_experiment(churn_config())
+
+
+def test_churn_adds_rearrivals_and_departures(churned):
+    for kind in churned.config.kinds:
+        rows = churned.samples[kind]
+        assert len(rows) > churned.config.circuit_count
+        assert any(s.generation > 0 for s in rows)
+        assert all(s.departed_at is not None for s in rows)
+        assert all(s.departed_at >= s.start_time for s in rows)
+
+
+def test_churn_reports_utilization_time_series(churned):
+    for kind in churned.config.kinds:
+        (series,) = churned.utilization_series(kind)
+        assert series.target == churned.bottleneck_relay
+        assert len(series.times) == len(series.values) >= 2
+        assert series.peak > 0
+
+
+def test_churn_steady_state_samples(churned):
+    settle = churned.config.churn.settle_time()
+    for kind in churned.config.kinds:
+        steady = churned.steady_samples(kind)
+        assert steady
+        assert all(s.start_time >= settle for s in steady)
+        assert all(s.time_to_last_byte > 0 for s in steady)
+
+
+def test_churn_result_json_round_trip(churned):
+    rebuilt = NetScaleResult.from_dict(json.loads(churned.to_json()))
+    assert rebuilt.to_dict() == churned.to_dict()
+    from repro.scenario import OpenLoopChurn
+
+    assert isinstance(rebuilt.config.churn, OpenLoopChurn)
+    kind = churned.config.kinds[0]
+    assert rebuilt.utilization_series(kind)[0].values == \
+        churned.utilization_series(kind)[0].values
+
+
+def test_churn_render_mentions_steady_state_and_probe(churned):
+    text = get_experiment("netscale").render(churned)
+    assert "steady state" in text
+    assert "probe utilization@" in text
+
+
+def test_no_churn_steady_samples_returns_everything(result):
+    kind = result.config.kinds[0]
+    assert result.steady_samples(kind) == result.samples[kind]
+
+
 def test_render_with_single_workload_class():
     """bulk_fraction=1.0 is a legal config; render must not crash on
     the empty interactive class."""

@@ -117,6 +117,37 @@ def test_sampler_validates_interval(sim):
         PeriodicSampler(sim, lambda: 0.0, interval=0.0)
 
 
+def test_sampler_survives_max_events_parking(sim):
+    """Regression: the park-the-clock run_until(max_events=...) semantics.
+
+    When the loop halts early on max_events the clock stays at the last
+    executed event, so the sampler's pending tick is never in the past;
+    resuming must continue the sampling grid exactly — no ClockError,
+    no duplicated or skipped samples.  (Under the old always-advance
+    semantics the pending tick could end up behind the advanced clock.)
+    """
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1, until=1.0)
+    while sim.pending_events:
+        sim.run_until(1.0, max_events=1)  # one event per resume
+    assert sampler.times == pytest.approx(
+        [round(0.1 * i, 10) for i in range(11)]
+    )
+
+
+def test_sampler_leaves_no_dead_event_after_until(sim):
+    """A finished sampler must not keep the event queue alive.
+
+    The last in-horizon tick used to reschedule one tick beyond
+    ``until`` that would fire and do nothing; now the queue drains so
+    ``run()`` terminates and ``pending_events`` reaches zero.
+    """
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1, until=0.45)
+    sim.run()  # would never return if a tick re-armed forever
+    assert sim.pending_events == 0
+    assert sampler.times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+    assert sim.now == pytest.approx(0.4)
+
+
 def test_sampler_empty_max(sim):
     sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1, until=-1.0)
     sim.run_until(0.5)
