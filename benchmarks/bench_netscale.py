@@ -12,19 +12,36 @@ Two companion benchmarks exercise the scenario layer itself:
 * a **churn** run (open-loop re-arrivals + departures + utilization
   probe), tracking the cost of the steady-state regime;
 * a **plan-cache** timing pair: the same spec planned cold vs warm,
-  so the scenario cache's speedup lands in the ``bench-*`` artifacts.
+  so the scenario cache's speedup lands in the ``bench-*`` artifacts;
+* a **disk-cache** timing pair: the same spec planned cold vs loaded
+  from the persistent on-disk tier by a fresh cache (a new process, in
+  effect).  Pointing ``REPRO_PLAN_CACHE`` at a directory persisted
+  across CI runs (``actions/cache``) turns the warm case into a
+  cross-run measurement; the hit/miss counters land in the
+  ``bench-netscale-<sha>`` artifact.
 
 Run:  pytest benchmarks/bench_netscale.py --benchmark-only
 """
 
 from __future__ import annotations
 
+import json
+import time
+
 from repro.experiments.netscale import (
     BULK,
     NetScaleConfig,
     run_netscale_experiment,
 )
-from repro.scenario import OpenLoopChurn, PlanCache, UtilizationProbe, plan_scenario
+from repro.scenario import (
+    DiskPlanCache,
+    OpenLoopChurn,
+    PlanCache,
+    UtilizationProbe,
+    plan_scenario,
+    resolve_cache_dir,
+)
+from repro.serialize import encode
 
 
 def test_netscale_shared_bottleneck(benchmark, save_artifact):
@@ -94,3 +111,50 @@ def test_netscale_plan_cache_speedup(benchmark):
 
     assert warm_plan is cold_plan
     assert cache.plan_hits >= 1 and cache.plan_misses == 1
+
+
+def test_netscale_plan_cache_disk_cold_vs_warm(benchmark, save_artifact,
+                                               tmp_path):
+    """Cold planning vs loading the plan from the persistent disk tier.
+
+    The warm side builds a *fresh* PlanCache per round, so every hit
+    goes through the disk (JSON read + decode), not process memory —
+    the cross-process cost this tier actually charges.  With
+    ``REPRO_PLAN_CACHE`` set (CI persists that directory across runs),
+    even the "cold" publishing pass may be served from a previous
+    run's entries; the artifact's counters say which happened.
+    """
+    directory = resolve_cache_dir() or str(tmp_path / "plan-cache")
+    scenario = _churn_config().to_scenario()
+
+    publisher = PlanCache(disk=DiskPlanCache(directory))
+    cold_started = time.perf_counter()
+    reference = plan_scenario(scenario, cache=publisher)
+    cold_seconds = time.perf_counter() - cold_started
+
+    def load_from_disk():
+        reader = PlanCache(disk=DiskPlanCache(directory))
+        return plan_scenario(scenario, cache=reader)
+
+    warm_plan = benchmark(load_from_disk)
+
+    # Served from disk, and byte-identical to the publishing pass.
+    probe = PlanCache(disk=DiskPlanCache(directory))
+    assert plan_scenario(scenario, cache=probe) is not None
+    assert probe.disk.plan_hits == 1 and probe.plan_misses == 0
+    assert encode(warm_plan) == encode(reference)
+
+    save_artifact(
+        "netscale_plan_cache_disk.json",
+        json.dumps(
+            {
+                "directory": directory,
+                "persistent": bool(resolve_cache_dir()),
+                "cold_publish_seconds": cold_seconds,
+                "publisher": publisher.stats(),
+                "warm_reader": probe.stats(),
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )

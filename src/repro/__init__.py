@@ -87,6 +87,7 @@ from .experiments import (
 )
 from .scenario import (
     BulkWorkload,
+    DiskPlanCache,
     GeneratedTopology,
     InteractiveWorkload,
     NoChurn,
@@ -143,6 +144,7 @@ __all__ = [
     "CircuitSpec",
     "CircuitStartController",
     "Directory",
+    "DiskPlanCache",
     "DynamicCircuitStartController",
     "DynamicConfig",
     "DynamicResult",

@@ -17,9 +17,13 @@ On top of the generated subcommands:
   estimated cost (cells × hops) plus sweep totals, without running;
 * ``repro scenario list``    — enumerate the registered scenario parts
   (topology sources, workloads, churn processes, probes);
+* ``repro cache info|clear`` — inspect or empty the on-disk plan cache;
 * ``repro report``           — the full reproduction report;
 * every experiment subcommand accepts ``--json`` to emit the
-  serializable result instead of the text rendering.
+  serializable result instead of the text rendering, and
+  ``--plan-cache DIR`` (default: the ``REPRO_PLAN_CACHE`` environment
+  variable) to persist scenario/network plans on disk so repeated
+  invocations — and parallel ``repro batch`` workers — share them.
 """
 
 from __future__ import annotations
@@ -50,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true",
             help="print the serialized result instead of the text rendering",
         )
+        command.add_argument(
+            "--plan-cache", default=None, metavar="DIR",
+            help="persist scenario/network plans in this directory "
+                 "(default: $REPRO_PLAN_CACHE; unset disables disk "
+                 "caching)",
+        )
 
     lst = sub.add_parser("list", help="list the registered experiments")
     lst.add_argument("--json", action="store_true",
@@ -76,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="like --dry-run, plus per-job estimated cost "
                             "(cells × hops) and sweep totals, so big "
                             "sweeps are predictable before launch")
+    batch.add_argument("--plan-cache", default=None, metavar="DIR",
+                       help="share scenario/network plans across workers "
+                            "and sweeps through this directory (default: "
+                            "$REPRO_PLAN_CACHE; unset disables disk "
+                            "caching)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk plan cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="'info' summarizes the directory, 'clear' "
+                            "deletes every entry")
+    cache.add_argument("--dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_PLAN_CACHE)")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable output (info only)")
 
     report = sub.add_parser("report", help="full reproduction report")
     report.add_argument("--out", default="-",
@@ -86,6 +112,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _attached_plan_cache(args: argparse.Namespace):
+    """Give the process-wide plan cache a disk tier, if one is configured.
+
+    Resolution order: ``--plan-cache DIR`` on the subcommand, then the
+    ``REPRO_PLAN_CACHE`` environment variable.  Neither set: purely
+    in-memory caching, as before.  The tier is detached on exit so
+    in-process callers of :func:`main` (tests, notebooks) do not leak
+    one command's cache directory into the next.
+    """
+    from .scenario.cache import DEFAULT_CACHE, attached_disk_tier, resolve_cache_dir
+
+    directory = resolve_cache_dir(getattr(args, "plan_cache", None))
+    return attached_disk_tier(DEFAULT_CACHE, directory)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.command)
     try:
@@ -93,7 +134,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     except SpecError as error:
         print(str(error), file=sys.stderr)
         return 2
-    result = experiment.run(spec)
+    with _attached_plan_cache(args):
+        result = experiment.run(spec)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
@@ -146,10 +188,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     if args.dry_run or args.plan:
         return _dry_run_batch(args.specs, data, plan=args.plan)
+    from .scenario.cache import resolve_cache_dir
+
     try:
         # run_batch normalizes dicts, bare experiment names, and BatchJobs.
         result = run_batch(data, workers=args.workers,
-                           base_seed=args.base_seed)
+                           base_seed=args.base_seed,
+                           plan_cache_dir=resolve_cache_dir(args.plan_cache))
     except TypeError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -164,13 +209,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if stats and sum(stats.values()):
         # Observability only, and to stderr: the JSON on stdout stays
         # byte-identical whether or not the plan cache was warm.
-        print(
+        line = (
             "scenario plan cache: %d plan hit(s) / %d miss(es), "
             "%d network hit(s) / %d miss(es)"
             % (stats.get("plan_hits", 0), stats.get("plan_misses", 0),
-               stats.get("network_hits", 0), stats.get("network_misses", 0)),
-            file=sys.stderr,
+               stats.get("network_hits", 0), stats.get("network_misses", 0))
         )
+        disk_consults = sum(
+            stats.get(key, 0)
+            for key in ("disk_plan_hits", "disk_plan_misses",
+                        "disk_network_hits", "disk_network_misses")
+        )
+        if disk_consults:
+            line += (
+                "; disk: %d plan hit(s) / %d miss(es), "
+                "%d network hit(s) / %d miss(es)"
+                % (stats.get("disk_plan_hits", 0),
+                   stats.get("disk_plan_misses", 0),
+                   stats.get("disk_network_hits", 0),
+                   stats.get("disk_network_misses", 0))
+            )
+        print(line, file=sys.stderr)
     text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
     if args.out == "-":
         print(text)
@@ -289,6 +348,37 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache info|clear``: manage the on-disk plan cache."""
+    from .scenario.cache import DiskPlanCache, resolve_cache_dir
+
+    directory = resolve_cache_dir(args.dir)
+    if not directory:
+        print(
+            "no plan-cache directory: pass --dir DIR or set "
+            "REPRO_PLAN_CACHE",
+            file=sys.stderr,
+        )
+        return 2
+    disk = DiskPlanCache(directory)
+    if args.action == "clear":
+        removed = disk.clear()
+        print("cleared %d entr%s from %s"
+              % (removed, "y" if removed == 1 else "ies", disk.directory))
+        return 0
+    info = disk.info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print("plan cache at %s" % info["directory"])
+    print("  format version: %d" % info["format_version"])
+    print("  scenario plans: %d" % info["plan_entries"])
+    print("  network plans:  %d" % info["network_entries"])
+    print("  size: %d bytes (cap %d)"
+          % (info["total_bytes"], info["max_bytes"]))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report.summary import generate_report
 
@@ -305,6 +395,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _BUILTIN_COMMANDS = {
     "list": _cmd_list,
     "batch": _cmd_batch,
+    "cache": _cmd_cache,
     "report": _cmd_report,
     # The scenario experiment's subcommand doubles as the parts
     # browser; its handler falls through to the generic experiment

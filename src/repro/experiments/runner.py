@@ -17,9 +17,13 @@ Scenario-backed jobs warm the process-local planned-scenario cache
 (:data:`repro.scenario.DEFAULT_CACHE`); each job's hit/miss delta is
 carried back from the worker and summed into
 :attr:`BatchResult.plan_cache`, so batch reports show what the cache
-saved.  The counters are observability only — they never enter the
-serialized output, which stays byte-identical across worker counts and
-cache states.
+saved.  With ``plan_cache_dir`` set, every worker's cache additionally
+shares one on-disk tier (:class:`repro.scenario.cache.DiskPlanCache`),
+so a network appearing in many workers' jobs is planned exactly once
+across all processes and plans survive into later sweeps.  The
+counters are observability only — they never enter the serialized
+output, which stays byte-identical across worker counts and cache
+states.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ import multiprocessing
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..scenario.cache import DEFAULT_CACHE
+from ..scenario.cache import DEFAULT_CACHE, DiskPlanCache, attached_disk_tier
 from ..sim.rand import derive_seed
 from .api import Serializable, SpecError, encode
 from .registry import get_experiment
@@ -99,16 +103,20 @@ class BatchResult(Serializable):
 
     :attr:`plan_cache` carries the sweep's aggregated scenario
     plan-cache counters (``plan_hits`` / ``plan_misses`` /
-    ``network_hits`` / ``network_misses``).  It is run metadata, not a
-    dataclass field: it never enters :meth:`to_dict` output (cached and
-    uncached sweeps stay byte-identical) and is ``None`` on instances
-    rebuilt from JSON.
+    ``network_hits`` / ``network_misses``, plus their ``disk_``
+    twins when a shared cache directory is in play).  It is run
+    metadata, not a dataclass field: it never enters :meth:`to_dict`
+    output (cached and uncached sweeps stay byte-identical) and is
+    ``None`` on instances rebuilt from JSON.  It is set per instance in
+    ``__post_init__`` — a class-level default would let an assignment
+    through the class leak one sweep's counters into every result.
     """
 
     items: List[BatchItem]
 
-    #: Aggregated plan-cache counters, set by :func:`run_batch`.
-    plan_cache = None  # type: Optional[Dict[str, int]]
+    def __post_init__(self) -> None:
+        #: Aggregated plan-cache counters, set by :func:`run_batch`.
+        self.plan_cache: Optional[Dict[str, int]] = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -142,6 +150,18 @@ def _seeded(spec: Any, base_seed: int, index: int, experiment: str) -> Any:
     return spec
 
 
+def _attach_disk_tier(plan_cache_dir: Optional[str]) -> None:
+    """Point this process's default plan cache at a shared directory.
+
+    Runs as the multiprocessing pool initializer, so every batch worker
+    reads and publishes plans through one on-disk cache and a network
+    appearing in several workers' jobs is planned once across all of
+    them.
+    """
+    if plan_cache_dir:
+        DEFAULT_CACHE.disk = DiskPlanCache(plan_cache_dir)
+
+
 def _execute_payload(
     payload: Tuple[str, Dict[str, Any]]
 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
@@ -167,6 +187,7 @@ def run_batch(
     jobs: Iterable[JobLike],
     workers: Optional[int] = None,
     base_seed: Optional[int] = None,
+    plan_cache_dir: Optional[str] = None,
 ) -> BatchResult:
     """Run every job and merge the structured outputs, in input order.
 
@@ -184,6 +205,13 @@ def run_batch(
         When given, every spec with a ``seed`` field is re-seeded
         deterministically per job (see module docstring).  ``None``
         leaves the specs' own seeds untouched.
+    plan_cache_dir:
+        When given, a persistent :class:`~repro.scenario.cache
+        .DiskPlanCache` under this directory backs every worker's plan
+        cache (and the serial path, for the duration of the sweep), so
+        plans and generated networks are shared across processes and
+        across repeated sweeps.  Purely a speedup: the structured
+        output stays byte-identical with or without it.
     """
     normalized = [_normalize_job(job) for job in jobs]
     specs = [job.resolved_spec() for job in normalized]
@@ -197,9 +225,14 @@ def run_batch(
     ]
 
     if workers is None or workers <= 1:
-        outputs = [_execute_payload(payload) for payload in payloads]
+        with attached_disk_tier(DEFAULT_CACHE, plan_cache_dir):
+            outputs = [_execute_payload(payload) for payload in payloads]
     else:
-        with multiprocessing.Pool(processes=workers) as pool:
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_attach_disk_tier,
+            initargs=(plan_cache_dir,),
+        ) as pool:
             outputs = pool.map(_execute_payload, payloads)
 
     items = [

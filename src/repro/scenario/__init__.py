@@ -19,8 +19,10 @@ experiment registry), round-trip through the structural JSON machinery
 (:mod:`repro.serialize`), and compile into a shared
 :class:`~repro.scenario.spec.ScenarioPlan` that is memoized by spec
 hash (:mod:`~repro.scenario.cache`) so sweeps over the same network
-never re-plan.  The engine (:mod:`~repro.scenario.engine`) replays one
-plan per controller kind.
+never re-plan — optionally persisted across processes by the disk tier
+(:class:`~repro.scenario.cache.DiskPlanCache`, wired to the CLI via
+``--plan-cache`` / ``REPRO_PLAN_CACHE``).  The engine
+(:mod:`~repro.scenario.engine`) replays one plan per controller kind.
 
 Quickstart::
 
@@ -46,7 +48,15 @@ The ``scenario`` experiment registration lives in
 without the experiment harnesses.
 """
 
-from .cache import DEFAULT_CACHE, PlanCache, spec_hash
+from .cache import (
+    DEFAULT_CACHE,
+    DiskPlanCache,
+    PLAN_CACHE_ENV_VAR,
+    PlanCache,
+    attached_disk_tier,
+    resolve_cache_dir,
+    spec_hash,
+)
 from .churn import NoChurn, OpenLoopChurn
 from .engine import (
     KindRun,
@@ -83,6 +93,7 @@ __all__ = [
     "BulkWorkload",
     "ChurnProcess",
     "DEFAULT_CACHE",
+    "DiskPlanCache",
     "GeneratedNetwork",
     "GeneratedTopology",
     "InteractiveWorkload",
@@ -91,6 +102,7 @@ __all__ = [
     "NetworkPlan",
     "NoChurn",
     "OpenLoopChurn",
+    "PLAN_CACHE_ENV_VAR",
     "PlanCache",
     "PlannedCircuit",
     "Probe",
@@ -105,6 +117,7 @@ __all__ = [
     "UtilizationProbe",
     "Workload",
     "WorkloadRun",
+    "attached_disk_tier",
     "forced_bottleneck_paths",
     "generate_network",
     "instantiate_network",
@@ -114,6 +127,7 @@ __all__ = [
     "plan_network",
     "plan_scenario",
     "register_part",
+    "resolve_cache_dir",
     "run_planned",
     "run_scenario",
     "spec_hash",

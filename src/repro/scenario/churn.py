@@ -110,6 +110,12 @@ class OpenLoopChurn(ChurnProcess):
                 "horizon (%r) must not precede the start window (%r)"
                 % (self.horizon, self.start_window)
             )
+        if self.settle is not None and self.settle < 0:
+            # A negative settle would silently classify every warm-up
+            # sample as steady state.
+            raise ValueError(
+                "settle must be non-negative, got %r" % self.settle
+            )
 
     def plan_arrivals(
         self, scenario: Any, streams: Any

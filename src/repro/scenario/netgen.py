@@ -91,7 +91,7 @@ class GeneratedNetwork:
 
 
 @dataclass
-class NetworkPlan:
+class NetworkPlan(Serializable):
     """A fully drawn network, not yet bound to any simulator.
 
     Planning (the random draws) and instantiation (building the
@@ -100,7 +100,9 @@ class NetworkPlan:
     experiment, the planning pass and the run pass, and every job of a
     batch sweep over the same network share one plan instead of each
     re-drawing the consensus.  A plan is pure data — link specs and
-    names — and therefore cheap to hold in the scenario plan cache.
+    names — and therefore cheap to hold in the scenario plan cache, and
+    it round-trips through :mod:`repro.serialize` so the cache's disk
+    tier can persist it across processes.
     """
 
     config: NetworkConfig

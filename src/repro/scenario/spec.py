@@ -122,12 +122,15 @@ class PlannedCircuit(Serializable):
 
 
 @dataclass
-class ScenarioPlan:
+class ScenarioPlan(Serializable):
     """A planned scenario: the shared product of one planning pass.
 
     Built once per distinct spec (and cached by spec hash); every
     controller kind's run replays this same plan on a fresh simulator,
     so differences in the output are attributable to the controller.
+    Plans round-trip through :mod:`repro.serialize` (that is how the
+    disk tier of the plan cache stores them), and a round-tripped plan
+    runs byte-identically to the original — the tests pin it.
     """
 
     scenario: Scenario
@@ -171,25 +174,32 @@ def plan_scenario(
     so sweeps over the same network skip the repeated consensus draws.
     Network draws live on their own substreams, which makes a plan
     assembled from a cached network byte-identical to one planned cold.
+    When the cache carries a disk tier, both levels additionally
+    persist across processes, and concurrent cold planners of the same
+    key coordinate so each distinct key is planned at most once.
     """
     key = spec_hash(scenario)
-    if cache is not None:
-        cached = cache.get_plan(key)
-        if cached is not None:
-            return cached
+    if cache is None:
+        return _plan_cold(scenario, key, None)
+    return cache.get_or_compute_plan(
+        key, lambda: _plan_cold(scenario, key, cache)
+    )
 
+
+def _plan_cold(
+    scenario: Scenario, key: str, cache: Optional[PlanCache]
+) -> ScenarioPlan:
+    """The actual planning pass (every random draw happens here)."""
     topology = scenario.topology
     streams = RandomStreams(scenario.seed)
 
-    network: Optional[NetworkPlan] = None
-    network_key = None
     if cache is not None:
         network_key = spec_hash(topology.network_fingerprint(scenario))
-        network = cache.get_network(network_key)
-    if network is None:
+        network = cache.get_or_compute_network(
+            network_key, lambda: topology.plan_network(scenario, streams)
+        )
+    else:
         network = topology.plan_network(scenario, streams)
-        if cache is not None and network_key is not None:
-            cache.put_network(network_key, network)
 
     directory = network.build_directory()
     bottleneck = topology.select_bottleneck(scenario, network)
@@ -240,13 +250,10 @@ def plan_scenario(
             )
         )
 
-    plan = ScenarioPlan(
+    return ScenarioPlan(
         scenario=scenario,
         spec_hash=key,
         network=network,
         bottleneck_relay=bottleneck,
         circuits=circuits,
     )
-    if cache is not None:
-        cache.put_plan(key, plan)
-    return plan

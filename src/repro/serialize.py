@@ -27,6 +27,7 @@ import collections.abc
 import json
 import typing
 from dataclasses import MISSING, fields, is_dataclass
+from functools import lru_cache
 from typing import Any, Dict
 
 from .analysis.trace import TraceRecorder
@@ -153,8 +154,20 @@ def _decode_key(key_type: Any, key: str) -> Any:
     return int(key) if key_type is int else key
 
 
+@lru_cache(maxsize=None)
+def _type_hints(cls: type) -> Dict[str, Any]:
+    """Resolved field annotations of *cls*, computed once per class.
+
+    ``typing.get_type_hints`` re-evaluates every string annotation on
+    every call — measurable on the decode-heavy paths (the plan cache's
+    disk tier decodes whole scenario plans).  Treat the cached dict as
+    read-only.
+    """
+    return typing.get_type_hints(cls)
+
+
 def _decode_dataclass(cls: type, data: Dict[str, Any]) -> Any:
-    hints = typing.get_type_hints(cls)
+    hints = _type_hints(cls)
     known = {f.name for f in fields(cls)}
     unknown = set(data) - known
     if unknown:

@@ -259,3 +259,113 @@ def test_scenario_run_rejects_bad_spec_file(tmp_path, capsys):
     code = main(["scenario", "run", "--spec", str(path)])
     assert code == 2
     assert "not valid JSON" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The on-disk plan cache (--plan-cache / REPRO_PLAN_CACHE / repro cache)
+# ----------------------------------------------------------------------
+
+
+def _scenario_spec_file(tmp_path, seed):
+    # A per-test seed keeps the spec out of the process-wide memory
+    # cache (a memory hit would never consult or warm the disk tier).
+    import json
+
+    spec = {
+        "topology": {"part": "generated", "force_bottleneck": True,
+                     "network": {"relay_count": 8, "client_count": 6,
+                                 "server_count": 6}},
+        "workloads": [{"part": "bulk", "payload_bytes": 40960}],
+        "churn": {"part": "none", "start_window": 0.1},
+        "circuit_count": 3,
+        "seed": seed,
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def test_scenario_run_with_plan_cache_warms_directory(tmp_path, capsys):
+    from repro.scenario import DEFAULT_CACHE, DiskPlanCache
+
+    spec = _scenario_spec_file(tmp_path, seed=987201)
+    cache_dir = str(tmp_path / "plan-cache")
+    first = main(["scenario", "run", "--spec", spec,
+                  "--plan-cache", cache_dir])
+    first_out = capsys.readouterr().out
+    assert first == 0
+    assert DEFAULT_CACHE.disk is None  # detached after the command
+    disk = DiskPlanCache(cache_dir)
+    assert disk.entry_counts() == {"plan": 1, "network": 1}
+
+    # A second invocation is served from disk and renders identically.
+    second = main(["scenario", "run", "--spec", spec,
+                   "--plan-cache", cache_dir])
+    second_out = capsys.readouterr().out
+    assert second == 0
+    assert second_out == first_out
+
+
+def test_plan_cache_env_var_is_honoured(tmp_path, capsys, monkeypatch):
+    from repro.scenario import DiskPlanCache
+
+    cache_dir = str(tmp_path / "env-cache")
+    monkeypatch.setenv("REPRO_PLAN_CACHE", cache_dir)
+    code = main(["scenario", "run", "--spec",
+                 _scenario_spec_file(tmp_path, seed=987202)])
+    capsys.readouterr()
+    assert code == 0
+    assert DiskPlanCache(cache_dir).entry_counts()["plan"] == 1
+
+
+def test_batch_plan_cache_output_identical_to_uncached(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "netscale", "spec": {
+            "circuit_count": 4, "seed": 987101,
+            "bulk_payload_bytes": 61440,
+            "interactive_payload_bytes": 10240,
+            "network": {"relay_count": 8, "client_count": 8,
+                        "server_count": 8}}},
+    ])
+    cache_dir = str(tmp_path / "plan-cache")
+    code = main(["batch", path, "--plan-cache", cache_dir])
+    cached = capsys.readouterr()
+    assert code == 0
+    code = main(["batch", path])
+    plain = capsys.readouterr()
+    assert code == 0
+    assert cached.out == plain.out  # stdout JSON is cache-independent
+    assert "disk:" in cached.err    # counters went to stderr only
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "plan-cache")
+    main(["scenario", "run", "--spec",
+          _scenario_spec_file(tmp_path, seed=987203),
+          "--plan-cache", cache_dir])
+    capsys.readouterr()
+
+    code = main(["cache", "info", "--dir", cache_dir])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scenario plans: 1" in out
+    assert "network plans:  1" in out
+
+    code = main(["cache", "clear", "--dir", cache_dir])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cleared 2 entries" in out
+
+    code = main(["cache", "info", "--dir", cache_dir, "--json"])
+    import json
+
+    info = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert info["plan_entries"] == 0 and info["network_entries"] == 0
+
+
+def test_cache_info_without_directory_fails(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    code = main(["cache", "info"])
+    assert code == 2
+    assert "REPRO_PLAN_CACHE" in capsys.readouterr().err

@@ -153,7 +153,17 @@ def test_scenario_validation():
     with pytest.raises(ValueError):
         UtilizationProbe(scope="everything")
     with pytest.raises(ValueError):
+        # A negative settle would silently count warm-up as steady state.
+        OpenLoopChurn(settle=-1.0)
+    with pytest.raises(ValueError):
         InteractiveWorkload(message_count=0)
+
+
+def test_open_loop_churn_settle_values():
+    # Explicit zero is a legal settle (count every sample as steady)...
+    assert OpenLoopChurn(settle=0.0).settle_time() == 0.0
+    # ...and None defaults to the start window.
+    assert OpenLoopChurn(start_window=1.5).settle_time() == 1.5
 
 
 # ----------------------------------------------------------------------

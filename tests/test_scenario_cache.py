@@ -207,7 +207,9 @@ def test_batch_reports_plan_cache_counters():
     stats = result.plan_cache
     assert stats is not None
     assert set(stats) == {"plan_hits", "plan_misses",
-                          "network_hits", "network_misses"}
+                          "network_hits", "network_misses",
+                          "disk_plan_hits", "disk_plan_misses",
+                          "disk_network_hits", "disk_network_misses"}
     # Two different specs over the same NetworkConfig: at most one
     # network generation happens in this process (the first job may hit
     # a cache warmed by earlier tests, but the second job always hits).
@@ -267,7 +269,10 @@ def test_cache_clear_resets_everything():
     cache.clear()
     assert len(cache) == 0
     assert cache.stats() == {"plan_hits": 0, "plan_misses": 0,
-                             "network_hits": 0, "network_misses": 0}
+                             "network_hits": 0, "network_misses": 0,
+                             "disk_plan_hits": 0, "disk_plan_misses": 0,
+                             "disk_network_hits": 0,
+                             "disk_network_misses": 0}
 
 
 def test_cache_validates_capacity():

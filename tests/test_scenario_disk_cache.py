@@ -1,0 +1,535 @@
+"""The disk tier of the plan cache (repro.scenario.cache.DiskPlanCache).
+
+The load-bearing guarantee: a plan loaded from disk produces
+byte-identical experiment output to one planned cold, in-process or
+across processes — and every failure mode (truncated entry, stale
+format, unwritable directory, two processes racing on one key) degrades
+to cold planning, never to an error or different output.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.experiments import run_batch
+from repro.scenario import (
+    BulkWorkload,
+    DiskPlanCache,
+    GeneratedTopology,
+    NetworkConfig,
+    NetworkPlan,
+    PlanCache,
+    Scenario,
+    ScenarioPlan,
+    plan_network,
+    plan_scenario,
+    run_planned,
+    run_scenario,
+    spec_hash,
+)
+from repro.serialize import encode
+from repro.sim.rand import RandomStreams
+from repro.units import kib
+
+
+def small_network(**overrides) -> NetworkConfig:
+    defaults = dict(relay_count=10, client_count=8, server_count=8)
+    defaults.update(overrides)
+    return NetworkConfig(**defaults)
+
+
+def small_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        topology=GeneratedTopology(
+            network=small_network(), force_bottleneck=True
+        ),
+        workloads=(BulkWorkload(payload_bytes=kib(40)),),
+        circuit_count=4,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def result_json(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+def test_network_plan_round_trips():
+    plan = plan_network(small_network(), RandomStreams(7))
+    rebuilt = NetworkPlan.from_dict(plan.to_dict())
+    assert encode(rebuilt) == encode(plan)
+    # The rebuilt consensus directory names the same relays at the same
+    # rates (Rate objects round-trip through bytes/second).
+    assert [
+        (d.name, d.bandwidth.bytes_per_second)
+        for d in rebuilt.build_directory().relays()
+    ] == [
+        (d.name, d.bandwidth.bytes_per_second)
+        for d in plan.build_directory().relays()
+    ]
+
+
+def test_scenario_plan_round_trip_equals_cold_plan():
+    scenario = small_scenario()
+    cold = plan_scenario(scenario, cache=None)
+    rebuilt = ScenarioPlan.from_dict(cold.to_dict())
+    assert encode(rebuilt) == encode(cold)
+    # The guarantee that matters: the round-tripped plan *runs*
+    # byte-identically to the cold one.
+    assert result_json(run_planned(rebuilt)) == result_json(run_planned(cold))
+
+
+# ----------------------------------------------------------------------
+# Disk tier: persistence across cache instances / processes
+# ----------------------------------------------------------------------
+
+
+def test_disk_tier_shares_plans_across_cache_instances(tmp_path):
+    scenario = small_scenario()
+    directory = str(tmp_path / "plan-cache")
+
+    writer = PlanCache(disk=DiskPlanCache(directory))
+    written = plan_scenario(scenario, cache=writer)
+    assert writer.plan_misses == 1
+    assert writer.disk.plan_misses == 1  # consulted before planning
+
+    # A fresh PlanCache (a new process, in effect) is served from disk:
+    # no re-planning, no network generation.
+    reader = PlanCache(disk=DiskPlanCache(directory))
+    loaded = plan_scenario(scenario, cache=reader)
+    assert reader.plan_hits == 1 and reader.plan_misses == 0
+    assert reader.network_misses == 0
+    assert reader.disk.plan_hits == 1
+    assert encode(loaded) == encode(written)
+
+    # Byte-identical experiment output, disk-loaded vs fully cold.
+    assert result_json(run_planned(loaded)) == \
+        result_json(run_scenario(scenario, cache=None))
+
+
+def test_disk_tier_shares_network_plans(tmp_path):
+    directory = str(tmp_path / "plan-cache")
+    writer = PlanCache(disk=DiskPlanCache(directory))
+    plan_scenario(small_scenario(circuit_count=3), cache=writer)
+
+    # A different spec over the same network, in a fresh cache: the
+    # scenario plan misses but the network comes from disk.
+    reader = PlanCache(disk=DiskPlanCache(directory))
+    warm = plan_scenario(small_scenario(circuit_count=5), cache=reader)
+    assert reader.plan_misses == 1
+    assert reader.network_hits == 1 and reader.network_misses == 0
+    assert reader.disk.network_hits == 1
+
+    cold = plan_scenario(small_scenario(circuit_count=5), cache=None)
+    assert encode(warm) == encode(cold)
+
+
+def test_memory_hit_skips_disk(tmp_path):
+    scenario = small_scenario()
+    cache = PlanCache(disk=DiskPlanCache(str(tmp_path)))
+    plan_scenario(scenario, cache=cache)
+    consults = cache.disk.plan_hits + cache.disk.plan_misses
+    plan_scenario(scenario, cache=cache)  # memory hit
+    assert cache.plan_hits == 1
+    assert cache.disk.plan_hits + cache.disk.plan_misses == consults
+
+
+# ----------------------------------------------------------------------
+# Failure modes: every defect degrades to a cold plan
+# ----------------------------------------------------------------------
+
+
+def _entry_paths(directory: str):
+    paths = []
+    for kind in ("plans", "networks"):
+        kind_dir = os.path.join(directory, kind)
+        if os.path.isdir(kind_dir):
+            paths.extend(
+                os.path.join(kind_dir, name)
+                for name in os.listdir(kind_dir)
+                if name.endswith(".json")
+            )
+    return sorted(paths)
+
+
+def _warm_directory(tmp_path, scenario) -> str:
+    directory = str(tmp_path / "plan-cache")
+    plan_scenario(scenario, cache=PlanCache(disk=DiskPlanCache(directory)))
+    return directory
+
+
+def test_truncated_entry_falls_back_to_cold_plan(tmp_path):
+    scenario = small_scenario()
+    directory = _warm_directory(tmp_path, scenario)
+    for path in _entry_paths(directory):
+        with open(path, "r") as handle:
+            blob = handle.read()
+        with open(path, "w") as handle:
+            handle.write(blob[: len(blob) // 2])  # mid-write crash shape
+
+    cache = PlanCache(disk=DiskPlanCache(directory))
+    plan = plan_scenario(scenario, cache=cache)
+    assert cache.plan_misses == 1 and cache.disk.plan_misses == 1
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+
+
+def test_wrong_format_version_is_a_miss(tmp_path):
+    scenario = small_scenario()
+    directory = _warm_directory(tmp_path, scenario)
+    for path in _entry_paths(directory):
+        with open(path, "r") as handle:
+            data = json.load(handle)
+        data["format"] = DiskPlanCache.FORMAT_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+
+    cache = PlanCache(disk=DiskPlanCache(directory))
+    plan = plan_scenario(scenario, cache=cache)
+    assert cache.disk.plan_hits == 0 and cache.disk.plan_misses == 1
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+    # Re-planning republished the entries at the current version.
+    with open(_entry_paths(directory)[0]) as handle:
+        assert json.load(handle)["format"] == DiskPlanCache.FORMAT_VERSION
+
+
+def test_garbage_entry_is_a_miss(tmp_path):
+    scenario = small_scenario()
+    directory = _warm_directory(tmp_path, scenario)
+    for path in _entry_paths(directory):
+        with open(path, "w") as handle:
+            handle.write("not json at all {{{")
+
+    cache = PlanCache(disk=DiskPlanCache(directory))
+    plan = plan_scenario(scenario, cache=cache)
+    assert cache.plan_misses == 1
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+
+
+def test_entry_from_different_planner_code_is_a_miss(tmp_path):
+    """Entries written by another planner version never serve.
+
+    CI persists the cache directory across commits (actions/cache) and
+    users keep REPRO_PLAN_CACHE pointed at one directory across
+    upgrades; a planning-behavior change that leaves the entry layout
+    intact must still invalidate.
+    """
+    scenario = small_scenario()
+    directory = _warm_directory(tmp_path, scenario)
+    for path in _entry_paths(directory):
+        with open(path, "r") as handle:
+            data = json.load(handle)
+        data["planner"] = "e" * 64  # some other commit's planner
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+
+    cache = PlanCache(disk=DiskPlanCache(directory))
+    plan = plan_scenario(scenario, cache=cache)
+    assert cache.disk.plan_hits == 0 and cache.plan_misses == 1
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+
+
+def test_scan_sweeps_orphaned_temp_and_lock_files(tmp_path):
+    """A killed writer's leftovers don't accumulate in a shared directory."""
+    directory = str(tmp_path / "plan-cache")
+    disk = DiskPlanCache(directory, lock_timeout=0.1)
+    plan = plan_scenario(small_scenario(), cache=None)
+    disk.put_plan(plan.spec_hash, plan)
+
+    plans_dir = os.path.join(directory, "plans")
+    orphan_tmp = os.path.join(plans_dir, "x" * 64 + ".json.123.tmp")
+    orphan_lock = os.path.join(plans_dir, "x" * 64 + ".lock")
+    for orphan in (orphan_tmp, orphan_lock):
+        with open(orphan, "w") as handle:
+            handle.write("killed mid-write")
+        os.utime(orphan, (1, 1))  # ancient: dead by protocol
+    fresh_lock = os.path.join(plans_dir, "y" * 64 + ".lock")
+    with open(fresh_lock, "w") as handle:
+        handle.write("live planner")
+
+    disk.total_bytes()  # any scan runs the janitor
+    assert not os.path.exists(orphan_tmp)
+    assert not os.path.exists(orphan_lock)
+    assert os.path.exists(fresh_lock)  # recent files are honoured
+    assert os.path.exists(disk._entry_path("plan", plan.spec_hash))
+
+
+def test_entry_under_wrong_key_is_a_miss(tmp_path):
+    """A copied/renamed entry (partial rsync, manual restore) never serves."""
+    import shutil
+
+    scenario = small_scenario()
+    directory = _warm_directory(tmp_path, scenario)
+    network_path = next(
+        path for path in _entry_paths(directory)
+        if os.sep + "networks" + os.sep in path
+    )
+    bogus = os.path.join(os.path.dirname(network_path), "f" * 64 + ".json")
+    shutil.copy(network_path, bogus)
+
+    disk = DiskPlanCache(directory)
+    assert disk.get_network("f" * 64) is None  # key mismatch inside file
+    assert disk.network_misses == 1
+
+
+def test_unusable_directory_degrades_to_memory_only(tmp_path):
+    # Point the disk tier at a *file*: every open/mkdir under it fails
+    # (works under root too, unlike permission bits), standing in for
+    # any unwritable/unreadable cache directory.
+    blocker = tmp_path / "not-a-directory"
+    blocker.write_text("occupied")
+    scenario = small_scenario()
+    cache = PlanCache(disk=DiskPlanCache(str(blocker)))
+    plan = plan_scenario(scenario, cache=cache)
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+    # Memory tier still works; disk never produced a hit.
+    assert plan_scenario(scenario, cache=cache) is plan
+    assert cache.disk.plan_hits == 0
+    assert blocker.read_text() == "occupied"  # nothing clobbered it
+
+
+@pytest.mark.skipif(os.geteuid() == 0, reason="root ignores permission bits")
+def test_readonly_directory_degrades_to_memory_only(tmp_path):
+    directory = tmp_path / "readonly"
+    directory.mkdir()
+    directory.chmod(0o500)
+    try:
+        scenario = small_scenario()
+        cache = PlanCache(disk=DiskPlanCache(str(directory)))
+        plan = plan_scenario(scenario, cache=cache)
+        assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+    finally:
+        directory.chmod(0o700)
+
+
+# ----------------------------------------------------------------------
+# Racing planners
+# ----------------------------------------------------------------------
+
+
+def test_lock_loser_waits_for_winners_entry(tmp_path):
+    scenario = small_scenario()
+    directory = str(tmp_path / "plan-cache")
+    winner = DiskPlanCache(directory)
+    key = spec_hash(scenario)
+    network_key = spec_hash(
+        scenario.topology.network_fingerprint(scenario)
+    )
+    assert winner.acquire("plan", key)
+    assert winner.acquire("network", network_key)
+
+    # "Another process" finishes planning shortly: publish its entries
+    # and release while the loser is waiting.
+    reference = plan_scenario(scenario, cache=None)
+
+    def publish():
+        winner.put_network(network_key, reference.network)
+        winner.put_plan(key, reference)
+        winner.release("network", network_key)
+        winner.release("plan", key)
+
+    timer = threading.Timer(0.15, publish)
+    timer.start()
+    try:
+        loser = PlanCache(disk=DiskPlanCache(directory, lock_timeout=5.0))
+        plan = plan_scenario(scenario, cache=loser)
+    finally:
+        timer.cancel()
+    assert encode(plan) == encode(reference)
+    # The wait resolved to a hit, not a cold plan: nothing was planned
+    # by the loser (misses net out to zero).
+    assert loser.plan_hits == 1 and loser.plan_misses == 0
+    assert loser.disk.plan_hits == 1
+
+
+def test_lock_timeout_falls_back_to_cold_plan(tmp_path):
+    scenario = small_scenario()
+    directory = str(tmp_path / "plan-cache")
+    holder = DiskPlanCache(directory)
+    key = spec_hash(scenario)
+    assert holder.acquire("plan", key)  # a crashed process's stale lock
+
+    cache = PlanCache(disk=DiskPlanCache(directory, lock_timeout=0.2))
+    plan = plan_scenario(scenario, cache=cache)  # waits 0.2 s, then plans
+    assert encode(plan) == encode(plan_scenario(scenario, cache=None))
+    assert cache.plan_misses == 1
+
+    # The abandoned lock (now older than the timeout) is broken by a
+    # later cold planner instead of stalling every arrival forever.
+    late = DiskPlanCache(directory, lock_timeout=0.2)
+    assert late.acquire("plan", key)
+
+
+def test_release_only_unlinks_own_lock(tmp_path):
+    """An overtaken planner must not free the breaker's live lock."""
+    directory = str(tmp_path / "plan-cache")
+    key = "a" * 64
+    slow = DiskPlanCache(directory, lock_timeout=0.05)
+    assert slow.acquire("plan", key)
+    import time as _time
+
+    _time.sleep(0.1)  # the lock now looks abandoned
+    breaker = DiskPlanCache(directory, lock_timeout=0.05)
+    assert breaker.acquire("plan", key)  # breaks the stale lock, re-takes
+
+    slow.release("plan", key)  # the slow planner finally finishes
+    # The breaker's lock survived: a third arrival still sees it held.
+    third = DiskPlanCache(directory, lock_timeout=60.0)
+    assert not third.acquire("plan", key)
+    breaker.release("plan", key)  # the owner can free it
+    assert third.acquire("plan", key)
+
+
+def _race_worker(args):
+    directory, circuit_count = args
+    cache = PlanCache(disk=DiskPlanCache(directory))
+    scenario = small_scenario(circuit_count=circuit_count)
+    plan = plan_scenario(scenario, cache=cache)
+    return encode(plan), cache.stats()
+
+
+def test_two_processes_racing_on_one_directory(tmp_path):
+    directory = str(tmp_path / "plan-cache")
+    with multiprocessing.Pool(2) as pool:
+        outputs = pool.map(
+            _race_worker, [(directory, 4), (directory, 4)], chunksize=1
+        )
+    (plan_a, __), (plan_b, __) = outputs
+    assert plan_a == plan_b
+    assert plan_a == encode(plan_scenario(small_scenario(), cache=None))
+    # Whatever the interleaving, the shared network was planned at most
+    # once across both processes, and the directory stayed readable.
+    total_network_misses = sum(s["network_misses"] for __, s in outputs)
+    assert total_network_misses <= 1
+    reader = PlanCache(disk=DiskPlanCache(directory))
+    assert plan_scenario(small_scenario(), cache=reader) is not None
+    assert reader.disk.plan_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Size cap / LRU eviction
+# ----------------------------------------------------------------------
+
+
+def test_disk_eviction_is_least_recently_used(tmp_path):
+    directory = str(tmp_path / "plan-cache")
+    disk = DiskPlanCache(directory, max_bytes=1)  # everything over cap
+    plan = plan_scenario(small_scenario(), cache=None)
+    disk.put_plan(plan.spec_hash, plan)
+    # The put itself triggered eviction down to (at most) the cap.
+    assert disk.entry_counts()["plan"] == 0
+
+    roomy = DiskPlanCache(directory, max_bytes=256 * 1024 * 1024)
+    keys = []
+    for count in (3, 4, 5):
+        p = plan_scenario(small_scenario(circuit_count=count), cache=None)
+        roomy.put_plan(p.spec_hash, p)
+        keys.append(p.spec_hash)
+    # Cap that holds roughly two entries: the oldest goes first.
+    entry_bytes = roomy.total_bytes() // 3
+    os.utime(roomy._entry_path("plan", keys[0]), (1, 1))  # force the order
+    tight = DiskPlanCache(directory, max_bytes=entry_bytes * 2)
+    p = plan_scenario(small_scenario(circuit_count=6), cache=None)
+    tight.put_plan(p.spec_hash, p)
+    assert tight.get_plan(keys[0]) is None  # evicted (oldest)
+    assert tight.get_plan(p.spec_hash) is not None  # newest survives
+
+
+# ----------------------------------------------------------------------
+# Batch integration: the acceptance sweep
+# ----------------------------------------------------------------------
+
+
+def _netscale_job(circuits: int, seed: int) -> dict:
+    return {
+        "experiment": "netscale",
+        "spec": {
+            "circuit_count": circuits,
+            "seed": seed,
+            "bulk_payload_bytes": kib(60),
+            "interactive_payload_bytes": kib(10),
+            "network": {"relay_count": 11, "client_count": 9,
+                        "server_count": 9},
+        },
+        "label": "circuits=%d" % circuits,
+    }
+
+
+def test_parallel_workers_share_one_network_through_disk(tmp_path, monkeypatch):
+    """The acceptance sweep: 4 workers, one network, planned exactly once.
+
+    The seed is unique to this test so the parent's DEFAULT_CACHE (which
+    forked workers inherit) cannot already hold these plans — the
+    aggregated counters then account for exactly this sweep.
+    """
+    jobs = [_netscale_job(circuits, seed=987001) for circuits in (4, 5, 6, 7)]
+    directory = str(tmp_path / "plan-cache")
+
+    shared = run_batch(jobs, workers=4, plan_cache_dir=directory)
+    stats = shared.plan_cache
+    # Four distinct specs: every scenario plan is cold exactly once...
+    assert stats["plan_misses"] == 4 and stats["plan_hits"] == 0
+    # ...but the network they share was planned once across all four
+    # worker processes; every other job was served from a cache tier.
+    assert stats["network_misses"] == 1
+    assert stats["network_hits"] == 3
+    # How many of those hits came from disk vs worker memory depends on
+    # how the pool distributed the jobs (a fast worker may take several),
+    # but the disk tier was consulted before the one cold planning, and
+    # a hit can come from nowhere but memory or disk.
+    assert stats["disk_network_misses"] >= 1
+    assert stats["disk_network_hits"] <= 3
+    # Every one of the four distinct specs consulted (and missed) the
+    # shared disk at the plan level before planning cold.
+    assert stats["disk_plan_misses"] == 4
+
+    # Byte-identical to a cold, serial, cache-disabled run: patch a
+    # fresh, empty, disk-less cache in for the baseline.
+    from repro.scenario.cache import PlanCache as _PlanCache
+
+    cold_cache = _PlanCache()
+    monkeypatch.setattr("repro.experiments.netscale.DEFAULT_CACHE", cold_cache)
+    monkeypatch.setattr("repro.experiments.runner.DEFAULT_CACHE", cold_cache)
+    cold = run_batch(jobs, workers=1)
+    assert cold.plan_cache["plan_misses"] == 4  # genuinely cold
+    assert json.dumps(shared.to_dict(), sort_keys=True) == \
+        json.dumps(cold.to_dict(), sort_keys=True)
+
+
+def test_serial_batch_uses_and_restores_disk_tier(tmp_path):
+    from repro.scenario.cache import DEFAULT_CACHE
+
+    jobs = [_netscale_job(4, seed=987002)]
+    directory = str(tmp_path / "plan-cache")
+    before = DEFAULT_CACHE.disk
+    result = run_batch(jobs, workers=1, plan_cache_dir=directory)
+    assert DEFAULT_CACHE.disk is before  # serial path restored the tier
+    assert result.plan_cache["disk_plan_misses"] >= 1  # disk was consulted
+    assert DiskPlanCache(directory).entry_counts()["plan"] >= 1  # published
+
+
+# ----------------------------------------------------------------------
+# BatchResult.plan_cache is per-instance state
+# ----------------------------------------------------------------------
+
+
+def test_batch_results_never_share_plan_cache_state():
+    from repro.experiments.runner import BatchResult
+
+    first = BatchResult(items=[])
+    second = BatchResult(items=[])
+    first.plan_cache = {"plan_hits": 7}
+    assert second.plan_cache is None  # not leaked through the class
+    assert "plan_cache" not in vars(type(first))  # no class attribute left
+    # And it stays out of the serialized form.
+    assert "plan_cache" not in first.to_dict()
+    assert BatchResult.from_dict(first.to_dict()).plan_cache is None
