@@ -1,0 +1,81 @@
+"""Churn study at a reduced grid: the Figure-1c steady-state sweep.
+
+Runs the ``churn-study`` experiment over a reduced arrival-rate grid
+(the full paper-scale grid is ``repro churn-study`` at its defaults)
+and persists two artifacts:
+
+* ``churn_study.txt`` — the rendered study: per-(rate, kind) table,
+  improvement table and the Figure-1c-style ASCII panel;
+* ``churn_study.json`` — the serializable study plus the sweep's
+  plan-cache counters, so CI runs prove the shared network was planned
+  once (with ``REPRO_PLAN_CACHE`` pointed at a directory persisted via
+  ``actions/cache``, possibly zero times: a previous run's entry).
+
+Run:  pytest benchmarks/bench_churn_study.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.churn_study import ChurnStudyConfig, run_churn_study
+from repro.experiments.netgen import NetworkConfig
+from repro.scenario import DEFAULT_CACHE, attached_disk_tier, resolve_cache_dir
+from repro.units import kib
+
+
+def _reduced_config() -> ChurnStudyConfig:
+    # A small initial wave over a long horizon, so the swept arrival
+    # rate — not the wave — sets the bottleneck's steady-state load:
+    # utilization spans ~0.2 (1/s) to ~0.95 (16/s), a genuine x axis.
+    return ChurnStudyConfig(
+        rates=(1.0, 4.0, 16.0),
+        circuit_count=8,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        start_window=2.0,
+        horizon=8.0,
+        network=NetworkConfig(relay_count=20, client_count=20,
+                              server_count=20),
+    )
+
+
+def test_churn_study_reduced_grid(benchmark, save_artifact):
+    config = _reduced_config()
+
+    def run():
+        with attached_disk_tier(DEFAULT_CACHE, resolve_cache_dir()):
+            return run_churn_study(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # One row per (rate, kind) and a shared bottleneck across points.
+    assert len(result.points) == len(config.rates) * len(config.kinds)
+    assert len(result.improvements) == len(config.rates)
+    assert result.bottleneck_relay
+    # Churn reached steady state at every operating point.
+    assert all(point.steady_circuits > 0 for point in result.points)
+    assert all(point.bottleneck_utilization > 0 for point in result.points)
+    # Utilization grows with the arrival rate (the sweep's x axis
+    # actually spans an interval, it is not one repeated point).
+    without = result.points_for(config.kinds[1])
+    assert without[-1].bottleneck_utilization > \
+        without[0].bottleneck_utilization + 0.2
+
+    from repro.experiments.registry import get_experiment
+
+    save_artifact(
+        "churn_study.txt", get_experiment("churn-study").render(result)
+    )
+    save_artifact(
+        "churn_study.json",
+        json.dumps(
+            {
+                "study": result.to_dict(),
+                "plan_cache": result.plan_cache,
+                "persistent_cache": bool(resolve_cache_dir()),
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )

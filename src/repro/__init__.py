@@ -53,6 +53,8 @@ from .experiments import (
     BatchResult,
     CdfConfig,
     CdfResult,
+    ChurnStudyConfig,
+    ChurnStudyResult,
     DynamicConfig,
     DynamicResult,
     Experiment,
@@ -78,6 +80,7 @@ from .experiments import (
     run_ablations_experiment,
     run_batch,
     run_cdf_experiment,
+    run_churn_study,
     run_dynamic_experiment,
     run_friendliness_experiment,
     run_interactive_experiment,
@@ -89,6 +92,7 @@ from .scenario import (
     BulkWorkload,
     DiskPlanCache,
     GeneratedTopology,
+    GoodputProbe,
     InteractiveWorkload,
     NoChurn,
     OpenLoopChurn,
@@ -139,6 +143,8 @@ __all__ = [
     "CELL_SIZE",
     "CdfConfig",
     "CdfResult",
+    "ChurnStudyConfig",
+    "ChurnStudyResult",
     "CircuitBuilder",
     "CircuitFlow",
     "CircuitSpec",
@@ -156,6 +162,7 @@ __all__ = [
     "FriendlinessConfig",
     "FriendlinessResult",
     "GeneratedTopology",
+    "GoodputProbe",
     "HopLink",
     "HopSender",
     "InteractiveConfig",
@@ -213,6 +220,7 @@ __all__ = [
     "run_ablations_experiment",
     "run_batch",
     "run_cdf_experiment",
+    "run_churn_study",
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",

@@ -102,6 +102,14 @@ from .netscale import (
     run_netscale_experiment,
     select_netscale_paths,
 )
+from .churn_study import (
+    ChurnStudyConfig,
+    ChurnStudyExperiment,
+    ChurnStudyImprovement,
+    ChurnStudyPoint,
+    ChurnStudyResult,
+    run_churn_study,
+)
 from .netgen import (
     GeneratedNetwork,
     NetworkConfig,
@@ -128,6 +136,11 @@ __all__ = [
     "CdfConfig",
     "CdfExperiment",
     "CdfResult",
+    "ChurnStudyConfig",
+    "ChurnStudyExperiment",
+    "ChurnStudyImprovement",
+    "ChurnStudyPoint",
+    "ChurnStudyResult",
     "CircuitSample",
     "CompensationRow",
     "DynamicConfig",
@@ -179,6 +192,7 @@ __all__ = [
     "run_ablations_experiment",
     "run_batch",
     "run_cdf_experiment",
+    "run_churn_study",
     "run_dynamic_experiment",
     "run_friendliness_experiment",
     "run_interactive_experiment",

@@ -1,6 +1,11 @@
 """Reporting: ASCII figures, aligned tables and CSV export."""
 
-from .ascii import render_cdf_pair, render_series, render_trace
+from .ascii import (
+    render_cdf_pair,
+    render_improvement_vs_utilization,
+    render_series,
+    render_trace,
+)
 from .summary import generate_report
 from .tables import format_table, rows_to_csv_text, write_csv
 
@@ -8,6 +13,7 @@ __all__ = [
     "format_table",
     "generate_report",
     "render_cdf_pair",
+    "render_improvement_vs_utilization",
     "render_series",
     "render_trace",
     "rows_to_csv_text",

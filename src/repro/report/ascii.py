@@ -12,7 +12,12 @@ from typing import List, Optional, Sequence, Tuple
 from ..analysis.stats import EmpiricalCdf
 from ..analysis.trace import TraceRecorder
 
-__all__ = ["render_trace", "render_cdf_pair", "render_series"]
+__all__ = [
+    "render_trace",
+    "render_cdf_pair",
+    "render_improvement_vs_utilization",
+    "render_series",
+]
 
 
 def render_series(
@@ -94,6 +99,32 @@ def render_trace(
         y_label=y_label,
         hline=hline,
         hline_label=hline_label,
+    )
+
+
+def render_improvement_vs_utilization(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "steady-state bottleneck utilization",
+    y_label: str = "improvement [s]",
+) -> str:
+    """Render improvement-vs-utilization series (Figure 1c style).
+
+    The paper's central steady-state panel: how much the start-up
+    scheme buys (y) as a function of how loaded the bottleneck relay is
+    (x), one point per swept operating point.  A dashed zero line marks
+    "no improvement", so points below it — the scheme hurting — are
+    immediately visible.
+    """
+    return render_series(
+        series,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label=y_label,
+        hline=0.0,
+        hline_label="no improvement",
     )
 
 

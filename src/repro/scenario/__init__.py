@@ -84,7 +84,7 @@ from .parts import (
     lookup_part,
     register_part,
 )
-from .probes import ProbeSeries, QueueDepthProbe, UtilizationProbe
+from .probes import GoodputProbe, ProbeSeries, QueueDepthProbe, UtilizationProbe
 from .spec import PlannedCircuit, Scenario, ScenarioPlan, plan_scenario
 from .topology import GeneratedTopology, forced_bottleneck_paths
 from .workloads import BulkWorkload, InteractiveWorkload, WorkloadRun
@@ -96,6 +96,7 @@ __all__ = [
     "DiskPlanCache",
     "GeneratedNetwork",
     "GeneratedTopology",
+    "GoodputProbe",
     "InteractiveWorkload",
     "KindRun",
     "NetworkConfig",

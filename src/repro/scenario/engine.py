@@ -173,10 +173,47 @@ class KindRun:
         self.network = network
         self.bottleneck_relay = bottleneck_relay
         self.runs = runs
+        # active() used to rescan every planned circuit on every call —
+        # with per-grid-tick probes at network scale that is
+        # O(relays × circuits) per tick.  Instead, track the not-yet-
+        # finished runs: each run's completion waiter removes it, and
+        # the done counter keeps the books.  Completion flips ``done``
+        # synchronously but the waiter delivers one call_soon beat
+        # later, so active() double-checks ``done`` on the runs it
+        # touches — the result is always exactly what the full rescan
+        # would have returned, while each run is discarded at most once
+        # (O(1) amortized per call).
+        self._done_count = 0
+        self._pending: Dict[int, WorkloadRun] = {
+            index: run for index, run in enumerate(self.runs)
+        }
+        for index, run in self._pending.items():
+            run.completed.subscribe(
+                lambda __value, index=index: self._note_done(index)
+            )
+
+    def _note_done(self, index: int) -> None:
+        """One circuit finished: drop it from the pending set."""
+        if self._pending.pop(index, None) is not None:
+            self._done_count += 1
 
     def active(self) -> bool:
-        """Whether any planned circuit is still unfinished."""
-        return any(not run.done for run in self.runs)
+        """Whether any planned circuit is still unfinished.
+
+        Equivalent to ``any(not run.done for run in self.runs)`` but
+        O(1) amortized: finished runs leave the pending set exactly
+        once (via their completion waiter, or here when the waiter's
+        callback has not been delivered yet).
+        """
+        pending = self._pending
+        while pending:
+            index, run = next(iter(pending.items()))
+            if not run.done:
+                return True
+            # Done, waiter callback still in flight: retire it now.
+            del pending[index]
+            self._done_count += 1
+        return False
 
 
 def run_scenario(
@@ -238,7 +275,9 @@ def _run_kind(plan: ScenarioPlan, kind: str):
             start_time=planned.start_time,
             workload=workload.flow_workload,
         )
-        runs.append(workload.attach(sim, flow, planned))
+        run = workload.attach(sim, flow, planned)
+        run.workload_name = workload.part_name
+        runs.append(run)
 
     # Departures: completed circuits leave — their state is removed
     # from every host along the path, so churn reaches a steady-state

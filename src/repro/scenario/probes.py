@@ -15,23 +15,29 @@ CircuitStart" is a field access, not a bespoke harness.
   above 1.0 on a single sample.
 * :class:`QueueDepthProbe` — the relay egress queue depth in packets,
   the standing-queue signal CircuitStart's Vegas detector keys on.
+* :class:`GoodputProbe` — *per-circuit* delivered-bytes rate: one
+  sampler per planned circuit, armed at the circuit's start time and
+  stopped at its completion, reporting bytes delivered to the sink per
+  sampling interval (in bytes per second).  Optionally restricted to
+  one workload class (``workload="bulk"``).
 
-Both accept ``scope="bottleneck"`` (the scenario's designated
-bottleneck relay only) or ``scope="relays"`` (every relay).  Samplers
-stop once every planned circuit has completed, so probes never keep an
-otherwise finished simulation ticking.
+The relay probes accept ``scope="bottleneck"`` (the scenario's
+designated bottleneck relay only) or ``scope="relays"`` (every relay).
+Samplers stop once every planned circuit has completed, so probes never
+keep an otherwise finished simulation ticking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..serialize import Serializable
 from ..sim.monitor import PeriodicSampler
 from .parts import Probe, register_part
 
 __all__ = [
+    "GoodputProbe",
     "ProbeSeries",
     "QueueDepthProbe",
     "UtilizationProbe",
@@ -58,6 +64,33 @@ class ProbeSeries(Serializable):
     def peak(self) -> float:
         """Largest sampled value (0.0 when nothing was sampled)."""
         return max(self.values, default=0.0)
+
+    # --- steady-state aggregation helpers -----------------------------
+
+    def between(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """The ``(time, value)`` samples with ``start <= time < stop``.
+
+        ``None`` leaves the corresponding side unbounded.  Churn
+        studies use this to trim warm-up (everything before the churn
+        process's settle time) and drain-out (everything at or past the
+        arrival horizon) from a series before aggregating.
+        """
+        return [
+            (t, v)
+            for t, v in zip(self.times, self.values)
+            if (start is None or t >= start) and (stop is None or t < stop)
+        ]
+
+    def mean_between(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> float:
+        """Mean sampled value within ``[start, stop)`` (0.0 when empty)."""
+        window = self.between(start, stop)
+        if not window:
+            return 0.0
+        return sum(v for __, v in window) / len(window)
 
 
 class _Collector:
@@ -196,4 +229,124 @@ class QueueDepthProbe(Probe):
                 name="queue-depth:%s" % relay,
             )
             collectors.append(_Collector(self.part, relay, sampler))
+        return collectors
+
+
+class _DeferredCollector:
+    """A collector whose sampler is armed mid-run (at circuit start)."""
+
+    def __init__(self, probe_name: str, target: str) -> None:
+        self.probe_name = probe_name
+        self.target = target
+        self.sampler: Optional[PeriodicSampler] = None
+
+    def series(self) -> ProbeSeries:
+        if self.sampler is None:
+            return ProbeSeries(self.probe_name, self.target, [], [])
+        return ProbeSeries(
+            probe=self.probe_name,
+            target=self.target,
+            times=list(self.sampler.times),
+            values=list(self.sampler.values),
+        )
+
+
+@register_part
+@dataclass(frozen=True)
+class GoodputProbe(Probe):
+    """Samples each circuit's delivered-bytes rate on a fixed grid.
+
+    One sampler per planned circuit: armed at the circuit's start time,
+    stopped once the circuit's transfer completes, reporting the bytes
+    delivered to the sink during each interval divided by the interval
+    (bytes per second).  Completion appends one final flush sample for
+    the partial tail interval (scaled by the full interval, so the
+    series integrates to exactly the delivered payload — and a circuit
+    faster than one interval still reports its transfer instead of an
+    all-zero series).  Series are keyed ``circuit-<id>``, so "how did
+    this circuit's share of the bottleneck evolve while others churned"
+    is a field access on the result.
+    """
+
+    interval: float = 0.25
+    #: Restrict to one workload class (registry name, e.g. ``"bulk"``);
+    #: ``None`` probes every circuit.
+    workload: Optional[str] = None
+    part: str = field(default="goodput", init=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                "sampling interval must be positive, got %r" % self.interval
+            )
+
+    def validate(self, scenario: Any) -> None:
+        if self.workload is None:
+            return
+        names = [w.part_name for w in scenario.workloads]
+        if self.workload not in names:
+            raise ValueError(
+                "goodput probe restricted to workload %r, but the scenario "
+                "only carries %s" % (self.workload, ", ".join(names))
+            )
+
+    def _make_probe(self, run: Any) -> Callable[[], float]:
+        last = [run.delivered_bytes]
+
+        def probe() -> float:
+            delivered = run.delivered_bytes
+            delta = delivered - last[0]
+            last[0] = delivered
+            return delta / self.interval
+
+        return probe
+
+    def install(self, sim: Any, context: Any) -> List[_DeferredCollector]:
+        collectors = []
+        for run in context.runs:
+            if self.workload is not None and run.workload_name != self.workload:
+                continue
+            try:
+                run.delivered_bytes
+            except NotImplementedError:
+                # Fail at install time with a pointed message, not deep
+                # in the event loop at the first sampler tick.
+                raise TypeError(
+                    "goodput probe needs workload runs that expose "
+                    "delivered_bytes; %s (workload part %r) does not"
+                    % (type(run).__name__, run.workload_name)
+                ) from None
+            collector = _DeferredCollector(
+                self.part, "circuit-%d" % run.flow.spec.circuit_id
+            )
+
+            def arm(
+                run: Any = run, collector: _DeferredCollector = collector
+            ) -> None:
+                if run.done:  # completed before its own start tick: skip
+                    return
+                probe = self._make_probe(run)
+                sampler = PeriodicSampler(
+                    sim,
+                    probe,
+                    self.interval,
+                    while_predicate=lambda: not run.done,
+                    name="goodput:%s" % collector.target,
+                )
+                collector.sampler = sampler
+
+                def flush(__at: Any) -> None:
+                    # The tail interval: bytes delivered since the last
+                    # tick would otherwise be dropped (the predicate
+                    # stops sampling the moment the run is done).
+                    value = probe()
+                    if value > 0:
+                        sampler.times.append(sim.now)
+                        sampler.values.append(value)
+                    sampler.stop()
+
+                run.completed.subscribe(flush)
+
+            sim.schedule_at(max(run.flow.start_time, sim.now), arm)
+            collectors.append(collector)
         return collectors

@@ -54,11 +54,23 @@ class WorkloadRun:
     def __init__(self, flow: Any) -> None:
         self.flow = flow
         self.departed_at: Optional[float] = None
+        #: Registry name of the workload part that attached this run;
+        #: set by the engine so probes can filter by workload class.
+        self.workload_name: Optional[str] = None
 
     # --- completion surface (subclass responsibility) ------------------
 
     @property
     def done(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Application bytes delivered to the sink so far.
+
+        The per-circuit goodput probe samples this on its grid; both
+        built-in workloads expose their sink's running byte count.
+        """
         raise NotImplementedError
 
     @property
@@ -96,6 +108,10 @@ class _BulkRun(WorkloadRun):
     @property
     def done(self) -> bool:
         return self.flow.done
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self.flow.sink.received_bytes
 
     @property
     def completed(self) -> Any:
@@ -179,6 +195,10 @@ class _InteractiveRun(WorkloadRun):
     @property
     def done(self) -> bool:
         return self.sink.done
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self.sink.received_bytes
 
     @property
     def completed(self) -> Any:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from .events import EventHandle
 from .simulator import Simulator
 
 __all__ = ["PeriodicSampler", "QueueProbe"]
@@ -54,7 +55,9 @@ class PeriodicSampler:
         self.times: List[float] = []
         self.values: List[float] = []
         self._stopped = False
-        sim.call_soon(self._tick)
+        #: The pending tick's handle, so :meth:`stop` can cancel it
+        #: instead of leaving a dead event in the queue.
+        self._pending: Optional[EventHandle] = sim.call_soon(self._tick)
 
     @property
     def samples(self) -> List[Tuple[float, float]]:
@@ -66,10 +69,20 @@ class PeriodicSampler:
         return max(self.values, default=0.0)
 
     def stop(self) -> None:
-        """Cease sampling after the current tick."""
+        """Cease sampling immediately: the pending tick is cancelled.
+
+        Nothing of the sampler remains in the event queue afterwards —
+        a ``run()`` that only had the sampler left returns right away
+        instead of executing (and discarding) one more tick up to a
+        full interval later.  Idempotent.
+        """
         self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         if self._stopped:
             return
         if self.until is not None and self.sim.now > self.until:
@@ -85,7 +98,7 @@ class PeriodicSampler:
             # park-the-clock ``run_until(max_events=...)`` semantics —
             # linger as a pending event across resumed runs.)
             return
-        self.sim.schedule(self.interval, self._tick)
+        self._pending = self.sim.schedule(self.interval, self._tick)
 
 
 class QueueProbe(PeriodicSampler):

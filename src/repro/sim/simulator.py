@@ -169,7 +169,13 @@ class Simulator:
         self.run_until(self._now + duration, max_events=max_events)
 
     def step(self) -> bool:
-        """Execute exactly one event.  Return ``False`` if none remain."""
+        """Execute exactly one event.  Return ``False`` if none remain.
+
+        Like :meth:`run`, ``step`` is not reentrant: calling it from
+        inside an executing callback raises :class:`SchedulingError`.
+        """
+        if self._running:
+            raise SchedulingError("simulator loop is not reentrant")
         if not self._queue:
             return False
         self._execute_next()
@@ -248,7 +254,14 @@ class Simulator:
             )
         self._now = time
         self._events_executed += 1
-        callback(*args)
+        # The reentrancy guard must cover the callback here too: a
+        # callback fired via step() could otherwise re-enter run()
+        # mid-event and interleave two loops on one queue.
+        self._running = True
+        try:
+            callback(*args)
+        finally:
+            self._running = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Simulator now=%.6f pending=%d executed=%d>" % (

@@ -36,6 +36,7 @@ EXPECTED_NAMES = [
     "interactive",
     "optimal",
     "netscale",
+    "churn-study",
     "scenario",
 ]
 
@@ -87,6 +88,19 @@ def fast_spec(name):
             circuit_count=6,
             bulk_payload_bytes=kib(60),
             interactive_payload_bytes=kib(10),
+            network=NetworkConfig(relay_count=8, client_count=6,
+                                  server_count=6),
+        )
+    if name == "churn-study":
+        from repro.experiments.churn_study import ChurnStudyConfig
+
+        return ChurnStudyConfig(
+            rates=(2.0, 6.0),
+            circuit_count=6,
+            bulk_payload_bytes=kib(60),
+            interactive_payload_bytes=kib(10),
+            start_window=1.0,
+            horizon=3.0,
             network=NetworkConfig(relay_count=8, client_count=6,
                                   server_count=6),
         )

@@ -148,6 +148,34 @@ def test_sampler_leaves_no_dead_event_after_until(sim):
     assert sim.now == pytest.approx(0.4)
 
 
+def test_sampler_stop_cancels_pending_tick(sim):
+    """stop() must cancel the scheduled tick, not just flag it.
+
+    The old implementation only set a flag, so the already-scheduled
+    next tick stayed in the queue and kept ``run()`` alive up to one
+    extra interval after stopping.  Now the handle is cancelled: after
+    ``stop()`` the queue holds no sampler event and ``run()`` returns
+    immediately without advancing the clock.
+    """
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1)
+    sim.run_until(0.25)
+    sampler.stop()
+    assert sim.pending_events == 0
+    sim.run()  # nothing left: returns at once, clock untouched
+    assert sim.now == pytest.approx(0.25)
+    assert sampler.times == pytest.approx([0.0, 0.1, 0.2])
+    sampler.stop()  # idempotent
+
+
+def test_sampler_stop_before_first_tick(sim):
+    """Stopping before the initial call_soon tick fires cancels it too."""
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1)
+    sampler.stop()
+    assert sim.pending_events == 0
+    sim.run()
+    assert sampler.times == []
+
+
 def test_sampler_empty_max(sim):
     sampler = PeriodicSampler(sim, lambda: 1.0, interval=0.1, until=-1.0)
     sim.run_until(0.5)

@@ -12,6 +12,7 @@ from repro.scenario import (
     BulkWorkload,
     ChurnProcess,
     GeneratedTopology,
+    GoodputProbe,
     InteractiveWorkload,
     NetworkConfig,
     NoChurn,
@@ -79,6 +80,7 @@ def test_builtin_parts_registered():
     assert ("churn", "open-loop") in rows
     assert ("probe", "utilization") in rows
     assert ("probe", "queue-depth") in rows
+    assert ("probe", "goodput") in rows
 
 
 def test_lookup_part():
@@ -220,6 +222,109 @@ def test_churn_does_not_perturb_initial_wave():
     for a, b in zip(plain.circuits[:count], churned.circuits[:count]):
         assert a.start_time == b.start_time
         assert a.relays == b.relays
+
+
+# ----------------------------------------------------------------------
+# OpenLoopChurn.plan_arrivals properties (hypothesis)
+# ----------------------------------------------------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_churn_grids = dict(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    circuit_count=st.integers(min_value=1, max_value=30),
+    start_window=st.floats(min_value=0.0, max_value=4.0,
+                           allow_nan=False, allow_infinity=False),
+    arrival_rate=st.floats(min_value=0.05, max_value=32.0,
+                           allow_nan=False, allow_infinity=False),
+    horizon_extra=st.floats(min_value=0.0, max_value=8.0,
+                            allow_nan=False, allow_infinity=False),
+)
+
+
+def _churn_variants(churn, circuit_count, seed):
+    """Scenarios that must all plan the identical arrival schedule."""
+    return [
+        small_scenario(churn=churn, circuit_count=circuit_count, seed=seed),
+        small_scenario(
+            churn=churn, circuit_count=circuit_count, seed=seed,
+            workloads=(BulkWorkload(payload_bytes=kib(10)),),
+        ),
+        small_scenario(
+            churn=churn, circuit_count=circuit_count, seed=seed,
+            probes=(GoodputProbe(interval=0.5),),
+        ),
+        small_scenario(
+            churn=churn, circuit_count=circuit_count, seed=seed,
+            workloads=(
+                BulkWorkload(weight=0.2, payload_bytes=kib(30)),
+                InteractiveWorkload(weight=0.8),
+            ),
+            probes=(QueueDepthProbe(scope="relays"),
+                    GoodputProbe(interval=0.1)),
+        ),
+    ]
+
+
+@settings(deadline=None, max_examples=50)
+@given(**_churn_grids)
+def test_open_loop_arrivals_invariant_to_workloads_and_probes(
+    seed, circuit_count, start_window, arrival_rate, horizon_extra
+):
+    """The arrival schedule is a pure function of churn spec and seed.
+
+    Workload and probe configuration must not perturb it: start-time
+    draws come from the ``starts`` substream and re-arrival draws from
+    the separate ``churn`` substream, so nothing another part consumes
+    can shift them.
+    """
+    churn = OpenLoopChurn(
+        start_window=start_window,
+        arrival_rate=arrival_rate,
+        horizon=start_window + horizon_extra,
+    )
+    schedules = [
+        churn.plan_arrivals(scenario, RandomStreams(seed))
+        for scenario in _churn_variants(churn, circuit_count, seed)
+    ]
+    assert all(schedule == schedules[0] for schedule in schedules[1:])
+
+
+@settings(deadline=None, max_examples=50)
+@given(**_churn_grids)
+def test_open_loop_arrivals_shape(
+    seed, circuit_count, start_window, arrival_rate, horizon_extra
+):
+    """Generation 0 is exactly the initial wave; re-arrivals fill
+    ``[start_window, horizon)`` in nondecreasing order."""
+    horizon = start_window + horizon_extra
+    churn = OpenLoopChurn(
+        start_window=start_window, arrival_rate=arrival_rate, horizon=horizon
+    )
+    scenario = small_scenario(churn=churn, circuit_count=circuit_count,
+                              seed=seed)
+    arrivals = churn.plan_arrivals(scenario, RandomStreams(seed))
+
+    wave = arrivals[:circuit_count]
+    rearrivals = arrivals[circuit_count:]
+    assert len(wave) == circuit_count
+    assert all(generation == 0 for generation, __ in wave)
+    assert all(0.0 <= at <= start_window for __, at in wave)
+    assert all(generation == 1 for generation, __ in rearrivals)
+    assert all(start_window <= at < horizon for __, at in rearrivals)
+    times = [at for __, at in rearrivals]
+    assert times == sorted(times)
+    # The initial wave is draw-for-draw what NoChurn would have planned:
+    # enabling churn never perturbs it (separate substreams).
+    plain = NoChurn(start_window=start_window).plan_arrivals(
+        scenario, RandomStreams(seed)
+    )
+    assert wave == plain
+    # And the whole schedule is deterministic given the seed.
+    again = churn.plan_arrivals(scenario, RandomStreams(seed))
+    assert arrivals == again
 
 
 def test_estimated_cost_counts_cells_and_hops():
@@ -425,6 +530,167 @@ def test_relays_scope_probes_every_relay():
     assert {s.target for s in series} == set(
         "relay%02d" % i for i in range(small_network().relay_count)
     )
+
+
+# ----------------------------------------------------------------------
+# GoodputProbe
+# ----------------------------------------------------------------------
+
+
+def test_goodput_probe_samples_each_circuit():
+    scenario = small_scenario(probes=(GoodputProbe(interval=0.1),))
+    result = run_scenario(scenario, kinds=["with"])
+    series = result.probe_series("with", "goodput")
+    samples = result.samples["with"]
+    assert len(series) == len(samples)
+    by_target = {s.target: s for s in series}
+    for sample in samples:
+        row = by_target["circuit-%d" % sample.circuit_id]
+        assert row.values, "no goodput was sampled for the circuit"
+        # Armed at the circuit's start, not at simulation start.
+        assert row.times[0] == pytest.approx(sample.start_time)
+        assert all(v >= 0 for v in row.values)
+        # The deltas (completion flush included) integrate to exactly
+        # the delivered payload.
+        delivered = sum(v * 0.1 for v in row.values)
+        assert delivered == pytest.approx(sample.payload_bytes)
+
+
+def test_goodput_probe_workload_filter():
+    scenario = small_scenario(probes=(GoodputProbe(workload="bulk"),))
+    result = run_scenario(scenario, kinds=["with"])
+    series = result.probe_series("with", "goodput")
+    bulk = result.of_workload("with", "bulk")
+    assert len(series) == len(bulk)
+    assert {s.target for s in series} == {
+        "circuit-%d" % sample.circuit_id for sample in bulk
+    }
+
+
+def test_goodput_probe_flushes_circuits_faster_than_one_interval():
+    """A transfer shorter than the sampling interval is not lost.
+
+    Without the completion flush, the only tick inside such a circuit's
+    lifetime is the zero sample at its start — the whole transfer would
+    read as zero goodput.
+    """
+    scenario = small_scenario(probes=(GoodputProbe(interval=60.0),))
+    result = run_scenario(scenario, kinds=["with"])
+    for sample in result.samples["with"]:
+        (row,) = [
+            s for s in result.probe_series("with", "goodput")
+            if s.target == "circuit-%d" % sample.circuit_id
+        ]
+        delivered = sum(v * 60.0 for v in row.values)
+        assert delivered == pytest.approx(sample.payload_bytes)
+
+
+def test_goodput_probe_rejects_run_without_delivered_bytes():
+    """A workload run predating delivered_bytes fails at install time."""
+    from types import SimpleNamespace
+
+    from repro.scenario.workloads import WorkloadRun
+    from repro.sim.simulator import Simulator
+
+    run = WorkloadRun(
+        flow=SimpleNamespace(spec=SimpleNamespace(circuit_id=1),
+                             start_time=0.0)
+    )
+    context = SimpleNamespace(runs=[run])
+    with pytest.raises(TypeError, match="delivered_bytes"):
+        GoodputProbe().install(Simulator(), context)
+
+
+def test_goodput_probe_rejects_unknown_workload_at_spec_time():
+    with pytest.raises(ValueError, match="teleport"):
+        small_scenario(probes=(GoodputProbe(workload="teleport"),))
+
+
+def test_goodput_probe_validates_interval():
+    with pytest.raises(ValueError, match="interval"):
+        GoodputProbe(interval=0.0)
+
+
+def test_probe_series_window_helpers():
+    from repro.scenario import ProbeSeries
+
+    series = ProbeSeries(
+        probe="utilization", target="relay00",
+        times=[0.0, 1.0, 2.0, 3.0], values=[0.1, 0.2, 0.4, 0.8],
+    )
+    assert series.between(1.0, 3.0) == [(1.0, 0.2), (2.0, 0.4)]
+    assert series.mean_between(1.0, 3.0) == pytest.approx(0.3)
+    assert series.mean_between() == pytest.approx(series.mean)
+    assert series.mean_between(10.0) == 0.0  # empty window
+
+
+# ----------------------------------------------------------------------
+# KindRun.active(): O(1) completion tracking
+# ----------------------------------------------------------------------
+
+
+def test_kindrun_active_tracks_completions_exactly():
+    """The pending-set predicate must equal the brute-force rescan.
+
+    Including the one-call_soon-beat window where ``done`` has flipped
+    but the completion waiter's callback has not been delivered yet.
+    """
+    from repro.scenario.engine import KindRun
+    from repro.sim.process import Waiter
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator()
+
+    class FakeRun:
+        def __init__(self) -> None:
+            self.completed = Waiter(sim)
+            self._done = False
+
+        @property
+        def done(self) -> bool:
+            return self._done
+
+        def finish(self, at: float) -> None:
+            self._done = True
+            self.completed.trigger(at)
+
+    runs = [FakeRun() for __ in range(3)]
+    context = KindRun(sim, network=None, bottleneck_relay=None, runs=runs)
+
+    def brute_force() -> bool:
+        return any(not run.done for run in runs)
+
+    assert context.active() is brute_force() is True
+    runs[0].finish(1.0)
+    # Waiter callback not delivered yet: the lazy sweep must still agree.
+    assert context.active() is brute_force() is True
+    sim.run()  # deliver the call_soon subscription
+    assert context._done_count == 1
+    assert context.active() is brute_force() is True
+    runs[1].finish(2.0)
+    runs[2].finish(2.0)
+    # All done, callbacks in flight: active() must already say so.
+    assert context.active() is brute_force() is False
+    sim.run()
+    # The late-firing waiters must not double-count the lazy sweep.
+    assert context._done_count == len(runs)
+    assert context.active() is False
+
+
+def test_active_predicate_byte_identical_to_rescan():
+    """Probe output under the O(1) predicate pins to the full rescan."""
+    from repro.experiments import encode
+    from repro.scenario.engine import KindRun
+
+    plan = plan_scenario(churn_scenario())
+    fast = run_planned(plan, kinds=["with"])
+    original = KindRun.active
+    KindRun.active = lambda self: any(not run.done for run in self.runs)
+    try:
+        slow = run_planned(plan, kinds=["with"])
+    finally:
+        KindRun.active = original
+    assert encode(fast) == encode(slow)
 
 
 # ----------------------------------------------------------------------

@@ -275,6 +275,69 @@ def test_loop_not_reentrant(sim):
         sim.run()
 
 
+def test_step_callback_cannot_reenter_run(sim):
+    """step() sets the reentrancy guard: its callback can't start run().
+
+    The guard used to be armed only by ``_run_loop``, so a callback
+    fired via ``step()`` could re-enter ``run()`` mid-event and
+    interleave two loops over one queue.
+    """
+    caught = []
+
+    def naughty():
+        try:
+            sim.run()
+        except SchedulingError as error:
+            caught.append(error)
+
+    sim.schedule(1.0, naughty)
+    assert sim.step()
+    assert len(caught) == 1
+
+
+def test_run_callback_cannot_step(sim):
+    """step() inside a run() callback raises instead of double-popping."""
+    caught = []
+
+    def naughty():
+        try:
+            sim.step()
+        except SchedulingError as error:
+            caught.append(error)
+
+    sim.schedule(1.0, naughty)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert len(caught) == 1
+    assert sim.now == 2.0  # the second event still fired, once
+
+
+def test_step_callback_cannot_step_again(sim):
+    """Nested step() from a step() callback raises on that path too."""
+    caught = []
+
+    def naughty():
+        try:
+            sim.step()
+        except SchedulingError as error:
+            caught.append(error)
+
+    sim.schedule(1.0, naughty)
+    sim.schedule(2.0, lambda: None)
+    assert sim.step()
+    assert len(caught) == 1
+    assert sim.pending_events == 1  # the guard kept the queue intact
+
+
+def test_running_flag_during_step(sim):
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(sim.running))
+    assert not sim.running
+    sim.step()
+    assert observed == [True]
+    assert not sim.running
+
+
 def test_running_flag(sim):
     observed = []
     sim.schedule(1.0, lambda: observed.append(sim.running))
