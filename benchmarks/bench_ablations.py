@@ -8,7 +8,6 @@ Run:  pytest benchmarks/bench_ablations.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import (
     backpropagation_study,

@@ -5,7 +5,6 @@ Run:  pytest benchmarks/bench_dynamic.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro import run_dynamic_experiment
 from repro.report import format_table

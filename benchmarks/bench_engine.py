@@ -10,7 +10,6 @@ Run:  pytest benchmarks/bench_engine.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator

@@ -16,7 +16,6 @@ Run:  pytest benchmarks/bench_fig1_cdf.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro import CdfConfig, run_cdf_experiment, summarize
 from repro.report import format_table, render_cdf_pair

@@ -10,7 +10,6 @@ Run:  pytest benchmarks/bench_fig1_traces.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro import TraceConfig, run_trace_experiment, seconds
 from repro.report import format_table, render_trace

@@ -9,7 +9,6 @@ Run:  pytest benchmarks/bench_friendliness.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.friendliness import run_friendliness_experiment
 from repro.report import format_table

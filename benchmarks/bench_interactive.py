@@ -5,7 +5,6 @@ Run:  pytest benchmarks/bench_interactive.py --benchmark-only
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.interactive import run_interactive_experiment
 from repro.report import format_table

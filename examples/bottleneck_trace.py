@@ -11,7 +11,6 @@ Run:  python examples/bottleneck_trace.py
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro import TraceConfig, run_trace_experiment, seconds
 from repro.report import format_table, render_trace

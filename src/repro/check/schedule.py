@@ -1,0 +1,72 @@
+"""Serializable schedules: one enumerated interleaving, pinned.
+
+A :class:`Schedule` is a checking config plus an ordered list of
+scheduler choices — enough to re-run the exact interleaving through
+the model (:meth:`Schedule.run_model`) or through the real engine
+(:func:`repro.check.replay.replay_schedule`).  Schedules round-trip
+through :mod:`repro.serialize` JSON, which is how counterexamples and
+sampled regression cases land in ``tests/schedules/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..serialize import Serializable
+from .model import ACTION_KINDS, Action, CheckConfig, ModelState
+
+__all__ = ["Schedule", "ScheduleStep"]
+
+
+@dataclass(frozen=True)
+class ScheduleStep(Serializable):
+    """One scheduler choice: deliver/lose/fire/close at a given hop."""
+
+    kind: str
+    hop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                "unknown step kind %r (want one of %s)"
+                % (self.kind, ", ".join(ACTION_KINDS))
+            )
+        if self.hop < 0:
+            raise ValueError("negative hop index %d" % self.hop)
+
+    @property
+    def action(self) -> Action:
+        return (self.kind, self.hop)
+
+
+@dataclass(frozen=True)
+class Schedule(Serializable):
+    """A pinned interleaving of one checking instance."""
+
+    config: CheckConfig
+    steps: Tuple[ScheduleStep, ...] = ()
+    #: Provenance, e.g. "sampled seed=0" or "counterexample: conservation".
+    note: str = ""
+
+    @classmethod
+    def from_actions(
+        cls, config: CheckConfig, actions: Iterable[Action], note: str = ""
+    ) -> "Schedule":
+        steps = tuple(ScheduleStep(kind, hop) for kind, hop in actions)
+        return cls(config=config, steps=steps, note=note)
+
+    @property
+    def actions(self) -> List[Action]:
+        return [step.action for step in self.steps]
+
+    def run_model(self) -> ModelState:
+        """Execute this schedule through the model, returning the
+        final state (raises if a step is not enabled)."""
+        state = ModelState.initial(self.config)
+        for step in self.steps:
+            state.apply(step.action)
+        return state
+
+    def __len__(self) -> int:
+        return len(self.steps)

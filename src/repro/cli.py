@@ -109,6 +109,62 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--full", action="store_true",
                         help="paper-scale runs (slow)")
 
+    check = sub.add_parser(
+        "check",
+        help="exhaustively check the hop transport's interleavings "
+             "(model checker + engine replay)",
+    )
+    check.add_argument("--hops", type=int, default=2,
+                       help="transport hops on the circuit (default 2)")
+    check.add_argument("--cells", type=int, default=3,
+                       help="payload cells to push (default 3)")
+    check.add_argument("--reliable", action="store_true",
+                       help="enable go-back-N: adds loss and RTO events "
+                            "to the schedule alphabet")
+    check.add_argument("--loss-budget", type=int, default=None,
+                       metavar="N",
+                       help="cap loss events per execution (default: "
+                            "unlimited; the retransmission budget keeps "
+                            "the space finite regardless)")
+    check.add_argument("--cwnd", type=int, default=2,
+                       help="initial/fixed congestion window in cells "
+                            "(default 2)")
+    check.add_argument("--window-mode", choices=("fixed", "double"),
+                       default="fixed",
+                       help="'fixed': constant window; 'double': "
+                            "CircuitStart's discrete-round doubling "
+                            "with the RTT exit detector disabled")
+    check.add_argument("--close", action="store_true", dest="allow_close",
+                       help="add a one-shot circuit-teardown event at an "
+                            "arbitrary point (churn departures)")
+    check.add_argument("--max-retx-rounds", type=int, default=1,
+                       help="retransmission budget before a hop breaks "
+                            "the circuit (default 1 — the break path "
+                            "stays reachable while the schedule space "
+                            "stays exhaustively enumerable; 2 is already "
+                            "intractable at 2 hops and the engine "
+                            "default of 12 explodes the space)")
+    check.add_argument("--max-states", type=int, default=None,
+                       help="stop after exploring this many states "
+                            "(bounded check)")
+    check.add_argument("--max-depth", type=int, default=None,
+                       help="bound the schedule length (bounded check)")
+    check.add_argument("--no-por", action="store_true",
+                       help="disable the sleep-set partial-order "
+                            "reduction (cross-check mode)")
+    check.add_argument("--replay", type=int, default=25, metavar="N",
+                       help="re-execute N sampled schedules against the "
+                            "real engine (default 25; 0 disables)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="schedule-sampling seed (exploration itself "
+                            "is deterministic)")
+    check.add_argument("--emit-schedules", default=None, metavar="DIR",
+                       help="write sampled schedules and counterexamples "
+                            "as JSON files into DIR")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable result instead of the "
+                            "text report")
+
     return parser
 
 
@@ -392,7 +448,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: enumerate interleavings, assert, replay."""
+    import os
+
+    from .check import (
+        CheckConfig,
+        explore,
+        render_check_report,
+        replay_schedule,
+    )
+
+    try:
+        config = CheckConfig(
+            hops=args.hops,
+            cells=args.cells,
+            reliable=args.reliable,
+            cwnd=args.cwnd,
+            window_mode=args.window_mode,
+            max_retransmission_rounds=args.max_retx_rounds,
+            allow_close=args.allow_close,
+            loss_budget=args.loss_budget,
+        )
+    except ValueError as error:
+        print("check: %s" % error, file=sys.stderr)
+        return 2
+    result = explore(
+        config,
+        por=not args.no_por,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        sample_schedules=args.replay,
+        seed=args.seed,
+    )
+    replays = [replay_schedule(schedule) for schedule in result.samples]
+    if args.emit_schedules:
+        os.makedirs(args.emit_schedules, exist_ok=True)
+        for index, schedule in enumerate(result.samples):
+            path = os.path.join(
+                args.emit_schedules, "schedule-%03d.json" % index
+            )
+            with open(path, "w") as f:
+                f.write(schedule.to_json(indent=2, sort_keys=True) + "\n")
+        for index, violation in enumerate(result.violations):
+            path = os.path.join(
+                args.emit_schedules, "counterexample-%03d.json" % index
+            )
+            with open(path, "w") as f:
+                f.write(violation.to_json(indent=2, sort_keys=True) + "\n")
+    failed = bool(result.violations) or any(
+        not report.agreed for report in replays
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "config": config.to_dict(),
+                "stats": result.stats.to_dict(),
+                "violations": [v.to_dict() for v in result.violations],
+                "replays": [r.to_dict() for r in replays],
+                "replays_agreed": sum(1 for r in replays if r.agreed),
+                "ok": not failed,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_check_report(
+            result, replays if args.replay else None
+        ))
+    return 1 if failed else 0
+
+
 _BUILTIN_COMMANDS = {
+    "check": _cmd_check,
     "list": _cmd_list,
     "batch": _cmd_batch,
     "cache": _cmd_cache,

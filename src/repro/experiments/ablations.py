@@ -29,7 +29,6 @@ from ..analysis.optimal_window import (
 from ..net.topology import build_chain
 from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
-from ..transport.config import TransportConfig
 from .api import Experiment, ExperimentResult, ExperimentSpec
 from .fig1_traces import TraceConfig, TraceResult, run_trace_experiment
 from .registry import get_experiment, register_experiment

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.stats import EmpiricalCdf
 from ..scenario import GoodputProbe, OpenLoopChurn, UtilizationProbe, plan_scenario

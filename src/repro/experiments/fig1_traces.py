@@ -21,7 +21,7 @@ Representative behaviour (the claims our benches assert):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..analysis.optimal_window import (
     HopLink,

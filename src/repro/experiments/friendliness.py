@@ -21,9 +21,8 @@ parks a queue in front of it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..analysis.stats import summarize
 from ..net.topology import LinkSpec, Topology
 from ..net.traffic import ConstantRateSender, LatencyTracker
 from ..sim.monitor import QueueProbe

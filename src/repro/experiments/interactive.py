@@ -157,7 +157,7 @@ def _run_one(config: InteractiveConfig, kind: str) -> InteractiveRow:
     )
 
     scheduler = StreamScheduler(flow.hop_senders[0], spec.circuit_id)
-    bulk = scheduler.open_stream(BULK_STREAM)
+    scheduler.open_stream(BULK_STREAM)
     scheduler.open_stream(INTERACTIVE_STREAM)
     sink = MultiStreamSink(sim, spec.circuit_id)
     flow.hosts[-1].attach_sink_app(spec.circuit_id, sink)

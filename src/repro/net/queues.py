@@ -17,7 +17,7 @@ drop behaviour after a run.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional
 
 from .packet import Packet

@@ -29,7 +29,7 @@ planner pick the new part up through the registry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import fields
 from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
 
 from ..serialize import Serializable, SpecError

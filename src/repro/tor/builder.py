@@ -22,7 +22,7 @@ convenience :func:`establish_then_start` chains establishment into a
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..core.factory import make_controller
 from ..net.packet import Packet

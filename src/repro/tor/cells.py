@@ -20,7 +20,7 @@ the value the next relay echoes back inside a :class:`FeedbackCell`.
 from __future__ import annotations
 
 import enum
-from typing import Any, List, Optional
+from typing import Any, List
 
 from ..transport.config import CELL_PAYLOAD, CELL_SIZE, FEEDBACK_SIZE
 

@@ -13,7 +13,7 @@ weighted sampling without replacement.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from ..units import Rate

@@ -27,7 +27,7 @@ feeds into its Vegas detector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..net.node import Node
@@ -90,6 +90,13 @@ class TorHost:
         self.feedback_sent = 0
         self.cells_forwarded = 0
         self.cells_delivered = 0
+        #: Circuits torn down because a hop exhausted its retransmission
+        #: budget (the sender's ``on_broken`` hook fired here).
+        self.circuits_broken = 0
+        #: Optional observer invoked as ``callback(circuit_id, error)``
+        #: after a broken circuit's local teardown (scenario engines use
+        #: this for failure-rate accounting).
+        self.on_circuit_broken: Optional[Callable[[int, Exception], None]] = None
         node.set_handler(self)
 
     # ------------------------------------------------------------------
@@ -233,7 +240,37 @@ class TorHost:
                 packet.on_tx_start_arg = token
             node.send(packet)
 
-        return HopSender(self.sim, config, controller, transmit, label=label)
+        sender = HopSender(self.sim, config, controller, transmit, label=label)
+        circuit_id = state.circuit_id
+
+        def on_broken(error: Exception) -> None:
+            self._on_hop_broken(circuit_id, error)
+
+        # A hop that exhausts its retransmission budget becomes a
+        # circuit-level failure (teardown + counter) instead of an
+        # exception unwinding the whole Simulator.run(): one black-holed
+        # hop must not crash a netscale/churn-study sweep.
+        sender.on_broken = on_broken
+        return sender
+
+    def _on_hop_broken(self, circuit_id: int, error: Exception) -> None:
+        """Handle a hop sender that gave up: tear the circuit down.
+
+        The sender has already closed itself (releasing its window
+        accounting); this host drops the rest of its local state and
+        propagates DESTROY toward both circuit ends so every other host
+        retires the circuit too.
+        """
+        state = self.circuits.get(circuit_id)
+        prev_hop = state.prev_hop if state is not None else None
+        next_hop = state.next_hop if state is not None else None
+        self.teardown(circuit_id)
+        self.circuits_broken += 1
+        for neighbor in (prev_hop, next_hop):
+            if neighbor is not None:
+                self._send_cell(DestroyCell(circuit_id), neighbor)
+        if self.on_circuit_broken is not None:
+            self.on_circuit_broken(circuit_id, error)
 
     # ------------------------------------------------------------------
     # Packet handling
@@ -254,7 +291,7 @@ class TorHost:
         elif cell.kind is CellKind.ESTABLISHED:
             self._handle_established(cell)
         elif cell.kind is CellKind.DESTROY:
-            self._handle_destroy(cell)
+            self._handle_destroy(cell, packet)
         else:  # pragma: no cover - exhaustive over CellKind
             raise ValueError("unhandled cell kind %r" % cell.kind)
 
@@ -337,14 +374,20 @@ class TorHost:
         if callback is not None:
             callback()
 
-    def _handle_destroy(self, cell: DestroyCell) -> None:
+    def _handle_destroy(self, cell: DestroyCell, packet: Packet) -> None:
         state = self.circuits.get(cell.circuit_id)
         if state is None:
             return
-        next_hop = state.next_hop
+        # Propagate away from whoever sent us the DESTROY: a teardown
+        # started mid-circuit (e.g. a broken hop) travels toward both
+        # ends; one started at an end sweeps to the other.
+        neighbors = [
+            hop for hop in (state.prev_hop, state.next_hop)
+            if hop is not None and hop != packet.src
+        ]
         self.teardown(cell.circuit_id)
-        if next_hop is not None:
-            self._send_cell(DestroyCell(cell.circuit_id), next_hop)
+        for neighbor in neighbors:
+            self._send_cell(DestroyCell(cell.circuit_id), neighbor)
 
     # ------------------------------------------------------------------
     # Emission helpers

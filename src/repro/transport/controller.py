@@ -146,6 +146,21 @@ class WindowController:
         self.outstanding += 1
         self.total_sent += 1
 
+    def release_outstanding(self, cells: int) -> None:
+        """Forget *cells* in-flight cells that will never be acknowledged.
+
+        The teardown path: when a hop sender is closed with cells still
+        in flight, their feedback is never coming, so the window
+        accounting must be released here — otherwise a departed
+        circuit's controller would report in-flight cells forever and
+        the conservation invariant ``outstanding == Σ inflight`` that
+        :mod:`repro.check` asserts would be broken by every churn
+        departure.
+        """
+        if cells < 0:
+            raise ValueError("cannot release %d cells" % cells)
+        self.outstanding = max(0, self.outstanding - cells)
+
     def on_feedback(self, rtt: float, now: float, sampled: bool = True) -> None:
         """A feedback ("moving") message for one cell arrived.
 

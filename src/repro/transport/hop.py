@@ -88,6 +88,16 @@ class HopSender:
         self.duplicate_feedback = 0
         self.max_buffer_depth = 0
         self.on_drained: Optional[Callable[[], None]] = None
+        #: Failure hook: invoked with the :class:`HopBrokenError` when
+        #: the hop exhausts its retransmission budget.  When set, the
+        #: sender closes itself and reports through the hook instead of
+        #: raising out of the timer callback (which would unwind the
+        #: whole ``Simulator.run()``).  :class:`repro.tor.hosts.TorHost`
+        #: wires this to circuit-level teardown so one broken hop
+        #: cannot crash a full sweep.
+        self.on_broken: Optional[Callable[["HopBrokenError"], None]] = None
+        #: Whether this hop gave up after exhausting its budget.
+        self.broken = False
         # --- reliability (go-back-N) state, active when config.reliable.
         self._unacked: Dict[int, Tuple[Any, Any]] = {}
         self._retransmitted: Set[int] = set()
@@ -173,16 +183,22 @@ class HopSender:
         """Release the hop: drop pending work and disarm the timer.
 
         Called on circuit teardown (departure).  Buffered and unacked
-        cells are discarded and the retransmission timer — the only
-        event a dormant sender keeps in the queue — is cancelled, so a
-        departed circuit leaves nothing behind in the simulator.
+        cells are discarded, the controller's window accounting for the
+        discarded in-flight cells is released (their feedback is never
+        coming), and the retransmission timer — the only event a
+        dormant sender keeps in the queue — is cancelled, so a departed
+        circuit leaves nothing behind in the simulator.
         """
+        inflight = len(self._send_times)
         self._buffer.clear()
         self._send_times.clear()
         self._unacked.clear()
         self._retransmitted.clear()
         self.cell_source = None
         self.on_drained = None
+        self.on_broken = None
+        if inflight:
+            self.controller.release_outstanding(inflight)
         if self._retx_timer is not None:
             self._retx_timer.cancel()
             self._retx_timer = None
@@ -254,10 +270,17 @@ class HopSender:
         self.timeouts += 1
         self._timeout_streak += 1
         if self._timeout_streak > self.config.max_retransmission_rounds:
-            raise HopBrokenError(
+            error = HopBrokenError(
                 "hop %s: %d retransmission rounds without progress"
                 % (self.label or "?", self._timeout_streak - 1)
             )
+            hook = self.on_broken
+            if hook is None:
+                raise error
+            self.broken = True
+            self.close()
+            hook(error)
+            return
         # Go-back-N: resend every unacked cell, oldest first.  Clones
         # are sent because the original objects may already be queued
         # (or mutated) further down the circuit.

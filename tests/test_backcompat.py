@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 import repro
 from repro import (

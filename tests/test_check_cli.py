@@ -1,0 +1,81 @@
+"""Tests for the ``repro check`` CLI subcommand."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from repro.cli import main
+
+
+def test_check_small_instance_passes(capsys):
+    code = main(["check", "--hops", "1", "--cells", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exhaustive enumeration" in out
+    assert "VERDICT: PASS" in out
+    assert "conservation" in out and "deadlock-freedom" in out
+
+
+def test_check_reliable_with_replay(capsys):
+    code = main(["check", "--hops", "1", "--cells", "2", "--reliable",
+                 "--replay", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Engine replay:" in out
+    assert "VERDICT: PASS" in out
+
+
+def test_check_bounded_run_is_flagged(capsys):
+    code = main(["check", "--hops", "2", "--cells", "2", "--reliable",
+                 "--max-states", "200", "--replay", "0"])
+    out = capsys.readouterr().out
+    assert code == 0  # bounded, but no violations
+    assert "BOUNDED" in out
+
+
+def test_check_json_output(capsys):
+    code = main(["check", "--hops", "1", "--cells", "2", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["ok"] is True
+    assert data["stats"]["states"] > 0
+    assert data["violations"] == []
+
+
+def test_check_no_por_flag(capsys):
+    code = main(["check", "--hops", "1", "--cells", "2", "--no-por",
+                 "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["stats"]["por"] is False
+
+
+def test_check_emit_schedules(tmp_path, capsys):
+    out_dir = str(tmp_path / "schedules")
+    code = main(["check", "--hops", "1", "--cells", "2", "--reliable",
+                 "--replay", "4", "--emit-schedules", out_dir])
+    capsys.readouterr()
+    assert code == 0
+    files = glob.glob(os.path.join(out_dir, "schedule-*.json"))
+    assert files
+    with open(files[0]) as f:
+        payload = json.load(f)
+    assert payload["config"]["hops"] == 1
+    assert payload["steps"]
+
+
+def test_check_rejects_bad_config(capsys):
+    code = main(["check", "--hops", "0"])
+    assert code == 2
+    assert "check:" in capsys.readouterr().err
+
+
+def test_check_close_and_double_modes(capsys):
+    code = main(["check", "--hops", "1", "--cells", "2", "--close",
+                 "--window-mode", "double", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["config"]["allow_close"] is True
+    assert data["config"]["window_mode"] == "double"

@@ -1,0 +1,336 @@
+"""Unit tests for the protocol model (repro.check.model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import CheckConfig, ModelState, Schedule
+from repro.check.model import ACTION_KINDS, InvariantViolationError
+from repro.check.schedule import ScheduleStep
+from repro.check.model import ScheduleNotEnabledError
+from repro.serialize import decode, encode
+
+
+# ----------------------------------------------------------------------
+# CheckConfig validation and serialization
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"hops": 0},
+    {"cells": 0},
+    {"cwnd": 0},
+    {"max_cwnd": 1, "cwnd": 2},
+    {"window_mode": "vegas"},
+    {"max_retransmission_rounds": 0},
+    {"loss_budget": -1},
+])
+def test_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        CheckConfig(**kwargs)
+
+
+def test_config_round_trips_through_serialize():
+    cfg = CheckConfig(hops=3, cells=2, reliable=True, loss_budget=2,
+                      window_mode="double", max_cwnd=16)
+    assert decode(CheckConfig, encode(cfg)) == cfg
+
+
+def test_schedule_round_trips_through_serialize():
+    cfg = CheckConfig(hops=1, cells=1)
+    sched = Schedule.from_actions(cfg, [("cell", 0), ("feedback", 0)],
+                                  note="unit")
+    back = decode(Schedule, encode(sched))
+    assert back == sched
+    assert back.actions == [("cell", 0), ("feedback", 0)]
+
+
+def test_schedule_step_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        ScheduleStep(kind="teleport", hop=0)
+    with pytest.raises(ValueError):
+        ScheduleStep(kind="cell", hop=-1)
+
+
+# ----------------------------------------------------------------------
+# Initial state and the window pump
+# ----------------------------------------------------------------------
+
+
+def test_initial_state_pumps_up_to_window():
+    state = ModelState.initial(CheckConfig(hops=2, cells=3, cwnd=2))
+    source = state.hops[0]
+    assert source.next_seq == 2          # two cells released by cwnd=2
+    assert len(source.buffer) == 1       # third waits for window space
+    assert source.outstanding == 2
+    assert [cell_id for cell_id, _seq in state.fwd[0]] == [0, 1]
+    assert state.delivered == 0
+    assert not state.down
+
+
+def test_delivery_chain_end_to_end():
+    cfg = CheckConfig(hops=2, cells=2, cwnd=2)
+    state = ModelState.initial(cfg)
+    # Drain everything: deliver cells forward, feedback backward, until
+    # quiescent.
+    for _ in range(64):
+        actions = state.enabled_actions()
+        if not actions:
+            break
+        state.apply(actions[0])
+    assert state.delivered == 2
+    assert state.enabled_actions() == []
+    for hop in state.hops:
+        assert hop.outstanding == 0
+        assert not hop.inflight and not hop.buffer
+
+
+def test_relay_acks_upstream_at_forward_time():
+    cfg = CheckConfig(hops=2, cells=1, cwnd=2)
+    state = ModelState.initial(cfg)
+    state.apply(("cell", 0))
+    # The relay forwarded (pumped) the cell, so the upstream ack is in
+    # flight already — the tx-start feedback hook semantics.
+    assert state.rev[0] == [0]
+    assert state.fwd[1] != []
+
+
+def test_feedback_releases_window_space():
+    cfg = CheckConfig(hops=1, cells=3, cwnd=2)
+    state = ModelState.initial(cfg)
+    state.apply(("cell", 0))       # sink accepts cell 0, acks seq 0
+    state.apply(("feedback", 0))
+    source = state.hops[0]
+    assert source.outstanding == 2  # third cell released on the ack
+    assert source.next_seq == 3
+    assert not source.buffer
+
+
+def test_window_doubles_on_full_round_in_double_mode():
+    cfg = CheckConfig(hops=1, cells=6, cwnd=2, window_mode="double",
+                      max_cwnd=8)
+    state = ModelState.initial(cfg)
+    state.apply(("cell", 0))
+    state.apply(("cell", 0))
+    state.apply(("feedback", 0))
+    state.apply(("feedback", 0))
+    assert state.hops[0].cwnd == 4
+
+
+def test_fixed_mode_window_stays_constant():
+    cfg = CheckConfig(hops=1, cells=6, cwnd=2)
+    state = ModelState.initial(cfg)
+    for _ in range(2):
+        state.apply(("cell", 0))
+        state.apply(("feedback", 0))
+    assert state.hops[0].cwnd == 2
+
+
+# ----------------------------------------------------------------------
+# Reliable mode: go-back-N, duplicates, streaks, the break path
+# ----------------------------------------------------------------------
+
+
+def test_rto_retransmits_all_inflight_oldest_first():
+    cfg = CheckConfig(hops=1, cells=2, cwnd=2, reliable=True)
+    state = ModelState.initial(cfg)
+    state.apply(("lose_cell", 0))
+    state.apply(("rto", 0))
+    # Go-back-N: both unacked cells re-enter the channel, original seqs.
+    assert [seq for _cell, seq in state.fwd[0]] == [1, 0, 1]
+    assert state.hops[0].retransmissions == 2
+    assert state.hops[0].streak == 1
+
+
+def test_duplicate_cell_is_reacked_not_delivered():
+    cfg = CheckConfig(hops=1, cells=1, cwnd=2, reliable=True)
+    state = ModelState.initial(cfg)
+    state.apply(("rto", 0))        # duplicates seq 0 in the channel
+    state.apply(("cell", 0))       # first copy delivers
+    assert state.delivered == 1
+    state.apply(("cell", 0))       # second copy: dup, re-acked
+    assert state.delivered == 1
+    assert state.receivers[0].dup_cells == 1
+    assert state.rev[0] == [0, 0]
+
+
+def test_gap_arrival_is_dropped_silently():
+    cfg = CheckConfig(hops=1, cells=2, cwnd=2, reliable=True)
+    state = ModelState.initial(cfg)
+    state.apply(("lose_cell", 0))  # seq 0 lost
+    state.apply(("cell", 0))       # seq 1 arrives out of order
+    assert state.delivered == 0
+    assert state.receivers[0].gap_drops == 1
+    assert state.rev[0] == []      # no ack for a dropped gap
+
+
+def test_cumulative_ack_clears_prefix_and_resets_streak():
+    cfg = CheckConfig(hops=1, cells=2, cwnd=2, reliable=True)
+    state = ModelState.initial(cfg)
+    state.apply(("rto", 0))
+    assert state.hops[0].streak == 1
+    state.apply(("cell", 0))       # deliver seq 0
+    state.apply(("cell", 0))       # deliver seq 1
+    state.apply(("lose_feedback", 0))  # ack 0 lost
+    state.apply(("feedback", 0))       # ack 1: cumulative, clears both
+    hop = state.hops[0]
+    assert hop.outstanding == 0 and not hop.inflight
+    assert hop.streak == 0         # progress resets the timeout streak
+
+
+def test_streak_exhaustion_breaks_the_circuit():
+    cfg = CheckConfig(hops=1, cells=1, cwnd=1, reliable=True,
+                      max_retransmission_rounds=1)
+    state = ModelState.initial(cfg)
+    state.apply(("rto", 0))
+    assert not state.broken
+    state.apply(("rto", 0))        # second consecutive timeout: give up
+    assert state.broken and state.down
+    hop = state.hops[0]
+    assert hop.outstanding == 0 and not hop.inflight and not hop.buffer
+
+
+def test_straggler_after_teardown_counts_late():
+    cfg = CheckConfig(hops=1, cells=1, cwnd=1, reliable=True,
+                      max_retransmission_rounds=1)
+    state = ModelState.initial(cfg)
+    state.apply(("rto", 0))
+    state.apply(("rto", 0))        # broken; copies still on the wire
+    n_wire = len(state.fwd[0])
+    assert n_wire > 0
+    for _ in range(n_wire):
+        state.apply(("cell", 0))
+    assert state.late_cells == n_wire
+    assert state.delivered == 0
+
+
+def test_close_is_not_enabled_twice():
+    cfg = CheckConfig(hops=1, cells=1, allow_close=True)
+    state = ModelState.initial(cfg)
+    state.apply(("close", 0))
+    assert state.closed
+    assert ("close", 0) not in state.enabled_actions()
+    with pytest.raises(ScheduleNotEnabledError):
+        state.apply(("close", 0))
+
+
+def test_not_enabled_steps_raise():
+    state = ModelState.initial(CheckConfig(hops=1, cells=1))
+    with pytest.raises(ScheduleNotEnabledError):
+        state.apply(("feedback", 0))   # nothing acked yet
+    with pytest.raises(ScheduleNotEnabledError):
+        state.apply(("rto", 0))        # lossless mode never arms loss
+
+
+# ----------------------------------------------------------------------
+# enabled_actions alphabet
+# ----------------------------------------------------------------------
+
+
+def test_lossless_alphabet_has_no_loss_or_rto():
+    state = ModelState.initial(CheckConfig(hops=2, cells=2))
+    kinds = {kind for kind, _hop in state.enabled_actions()}
+    assert kinds == {"cell"}
+    assert set(ACTION_KINDS) >= kinds
+
+
+def test_reliable_alphabet_adds_loss_and_rto():
+    state = ModelState.initial(
+        CheckConfig(hops=2, cells=2, reliable=True))
+    kinds = {kind for kind, _hop in state.enabled_actions()}
+    assert kinds == {"cell", "lose_cell", "rto"}
+
+
+def test_loss_budget_gates_loss_actions():
+    cfg = CheckConfig(hops=1, cells=2, reliable=True, loss_budget=1)
+    state = ModelState.initial(cfg)
+    assert ("lose_cell", 0) in state.enabled_actions()
+    state.apply(("lose_cell", 0))
+    assert state.losses == 1
+    assert ("lose_cell", 0) not in state.enabled_actions()
+
+
+# ----------------------------------------------------------------------
+# Cloning and canonical hashing
+# ----------------------------------------------------------------------
+
+
+def _all_states_on_some_run(cfg, steps=40):
+    """A stream of (state, enabled) pairs along one deterministic run."""
+    state = ModelState.initial(cfg)
+    for _ in range(steps):
+        actions = state.enabled_actions()
+        if not actions:
+            return
+        yield state, actions
+        state = state.clone()
+        state.apply(actions[len(actions) // 2])
+
+
+@pytest.mark.parametrize("cfg", [
+    CheckConfig(hops=2, cells=2),
+    CheckConfig(hops=2, cells=2, reliable=True, max_retransmission_rounds=1),
+    CheckConfig(hops=3, cells=2, reliable=True, allow_close=True,
+                max_retransmission_rounds=1),
+])
+def test_clone_for_equals_full_clone_for_every_action(cfg):
+    """clone_for + apply must be indistinguishable from clone + apply.
+
+    This pins the write-set contract (_touched) that makes structural
+    sharing in the enumerator sound.
+    """
+    for state, actions in _all_states_on_some_run(cfg):
+        for action in actions:
+            full = state.clone()
+            try:
+                full.apply(action)
+            except InvariantViolationError:
+                continue
+            partial = state.clone_for(action)
+            partial._apply_trusted(action)
+            assert partial.canonical() == full.canonical(), action
+            # Counters too (not hashed, but reported and replay-compared).
+            for hp, hf in zip(partial.hops, full.hops):
+                assert hp.dup_feedback == hf.dup_feedback
+                assert hp.retransmissions == hf.retransmissions
+                assert hp.timeouts == hf.timeouts
+            assert partial.late_cells == full.late_cells
+
+
+def test_clone_for_leaves_the_parent_untouched():
+    cfg = CheckConfig(hops=2, cells=2, reliable=True,
+                      max_retransmission_rounds=1)
+    state = ModelState.initial(cfg)
+    before = state.canonical()
+    for action in state.enabled_actions():
+        child = state.clone_for(action)
+        child._apply_trusted(action)
+        assert state.canonical() == before, action
+
+
+def test_canonical_ignores_diagnostic_counters():
+    cfg = CheckConfig(hops=1, cells=1, reliable=True)
+    a = ModelState.initial(cfg)
+    b = a.clone()
+    b.hops[0].dup_feedback += 3
+    b.hops[0].timeouts += 1
+    b.receivers[0].gap_drops += 2
+    assert a.canonical() == b.canonical()
+
+
+def test_canonical_cache_invalidated_by_inplace_apply():
+    # Schedule.run_model applies in place; a stale cached fragment
+    # would make two different states hash equal.
+    cfg = CheckConfig(hops=2, cells=2)
+    state = ModelState.initial(cfg)
+    first = state.canonical()
+    state.apply(("cell", 0))
+    assert state.canonical() != first
+
+
+def test_run_model_executes_a_schedule():
+    cfg = CheckConfig(hops=1, cells=1)
+    sched = Schedule.from_actions(cfg, [("cell", 0), ("feedback", 0)])
+    final = sched.run_model()
+    assert final.delivered == 1
+    assert final.enabled_actions() == []

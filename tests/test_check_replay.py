@@ -1,0 +1,118 @@
+"""Tests for the model-vs-engine replay bridge (repro.check.replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    ReplayReport,
+    Schedule,
+    explore,
+    replay_schedule,
+)
+from repro.serialize import decode, encode
+
+
+def _sampled(cfg, n, seed=0, **explore_kw):
+    result = explore(cfg, sample_schedules=n, seed=seed, **explore_kw)
+    assert result.ok
+    assert result.samples
+    return result.samples
+
+
+# ----------------------------------------------------------------------
+# Agreement on sampled schedules (the acceptance pin: >= 25 schedules)
+# ----------------------------------------------------------------------
+
+
+def test_twenty_five_reliable_schedules_agree_with_engine():
+    """>= 25 enumerated schedules replay against the real
+    Simulator/HopSender/TorHost stack with full observable agreement:
+    delivery order, window state, retransmission and duplicate
+    counters, channel contents."""
+    schedules = _sampled(
+        CheckConfig(hops=2, cells=2, reliable=True,
+                    max_retransmission_rounds=1), 22)
+    schedules += _sampled(
+        CheckConfig(hops=2, cells=2, reliable=True,
+                    max_retransmission_rounds=1, allow_close=True), 10)
+    assert len(schedules) >= 25
+    for schedule in schedules:
+        report = replay_schedule(schedule)
+        assert report.agreed, report.mismatches
+        assert report.delivered_model == report.delivered_engine
+
+
+@pytest.mark.parametrize("cfg", [
+    CheckConfig(hops=2, cells=3),                       # lossless relay
+    CheckConfig(hops=3, cells=2),                       # three hops
+    CheckConfig(hops=2, cells=2, window_mode="double",
+                max_cwnd=8),                            # doubling window
+    CheckConfig(hops=2, cells=2, allow_close=True),     # churn teardown
+    CheckConfig(hops=2, cells=2, reliable=True,
+                max_retransmission_rounds=1,
+                allow_close=True),                      # loss + teardown
+], ids=["lossless", "threehop", "double", "close", "reliable-close"])
+def test_schedule_families_agree_with_engine(cfg):
+    for schedule in _sampled(cfg, 8, seed=3):
+        report = replay_schedule(schedule)
+        assert report.agreed, (schedule.actions, report.mismatches)
+
+
+def test_replay_covers_the_break_path():
+    # Find a schedule that actually breaks the circuit (streak
+    # exhaustion) and confirm the engine tears down identically.
+    cfg = CheckConfig(hops=2, cells=2, reliable=True,
+                      max_retransmission_rounds=1)
+    result = explore(cfg, sample_schedules=40, seed=11)
+    broken = [s for s in result.samples if s.run_model().broken]
+    assert broken, "no sampled schedule exercised the break path"
+    for schedule in broken[:3]:
+        report = replay_schedule(schedule)
+        assert report.agreed, report.mismatches
+
+
+# ----------------------------------------------------------------------
+# Teeth: a wrong model must produce mismatches
+# ----------------------------------------------------------------------
+
+
+def test_model_fault_is_detected_as_mismatch():
+    cfg = CheckConfig(hops=2, cells=2, reliable=True,
+                      max_retransmission_rounds=1)
+    # A schedule with a duplicate delivery: retransmit then deliver both
+    # copies; the faulty model double-accepts where the engine does not.
+    schedules = _sampled(cfg, 30, seed=5)
+    dup = next(s for s in schedules
+               if s.run_model().receivers[-1].dup_cells > 0)
+    report = replay_schedule(dup, _model_bug="accept-duplicates")
+    assert not report.agreed
+    assert report.mismatches
+
+
+def test_mismatch_report_names_field_and_hop():
+    cfg = CheckConfig(hops=1, cells=2, reliable=True,
+                      max_retransmission_rounds=1)
+    schedules = _sampled(cfg, 20, seed=2)
+    dup = next(s for s in schedules
+               if s.run_model().receivers[-1].dup_cells > 0)
+    report = replay_schedule(dup, _model_bug="accept-duplicates")
+    fields = {m.field for m in report.mismatches}
+    assert fields  # at least one named observable diverged
+    for m in report.mismatches:
+        assert m.model != m.engine
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def test_replay_report_round_trips_through_serialize():
+    cfg = CheckConfig(hops=1, cells=1)
+    schedule = Schedule.from_actions(cfg, [("cell", 0), ("feedback", 0)])
+    report = replay_schedule(schedule)
+    back = decode(ReplayReport, encode(report))
+    assert back.agreed == report.agreed
+    assert back.steps == report.steps

@@ -1,0 +1,79 @@
+"""Regression replay of the committed schedules in tests/schedules/.
+
+Each fixture is one enumerated interleaving, serialized by
+``repro.check.schedule.Schedule``, that once exercised a distinct
+behaviour family (clean delivery, duplicate suppression, go-back-N
+recovery, the break path, churn teardown, window doubling).  Replaying
+them pins the model and the real engine to each other: a change to
+either that shifts any observable — delivery order, window accounting,
+retransmission or duplicate counters, teardown bookkeeping — fails
+here with a named mismatch.
+
+Regenerate with ``repro check ... --emit-schedules DIR`` (see
+README, "Checking the transport").
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.check import Schedule, replay_schedule
+
+SCHEDULE_DIR = os.path.join(os.path.dirname(__file__), "schedules")
+FIXTURES = sorted(glob.glob(os.path.join(SCHEDULE_DIR, "*.json")))
+
+
+def _load(path):
+    with open(path) as f:
+        return Schedule.from_json(f.read())
+
+
+def test_fixture_families_are_present():
+    names = {os.path.splitext(os.path.basename(p))[0] for p in FIXTURES}
+    assert {
+        "lossless-2hop", "lossless-3hop", "double-window",
+        "close-early", "close-midstream",
+        "reliable-clean", "reliable-duplicates", "reliable-loss-recovery",
+        "reliable-break", "reliable-close",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURES,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in FIXTURES])
+def test_committed_schedule_replays_against_engine(path):
+    schedule = _load(path)
+    report = replay_schedule(schedule)
+    assert report.agreed, report.mismatches
+    assert report.delivered_model == report.delivered_engine
+
+
+def test_committed_schedules_still_run_on_the_model():
+    # Every fixture must remain applicable step by step (enabledness is
+    # part of the contract a schedule encodes).
+    for path in FIXTURES:
+        final = _load(path).run_model()
+        assert final is not None
+
+
+def test_behaviour_tags_still_hold():
+    """The property that made each fixture worth committing."""
+    finals = {
+        os.path.splitext(os.path.basename(p))[0]: _load(p).run_model()
+        for p in FIXTURES
+    }
+    assert finals["reliable-duplicates"].receivers[-1].dup_cells > 0
+    assert finals["reliable-loss-recovery"].losses > 0
+    assert finals["reliable-loss-recovery"].delivered == 2
+    assert finals["reliable-break"].broken
+    assert finals["close-early"].closed
+    assert finals["close-early"].delivered == 0
+    assert finals["close-midstream"].closed
+    assert finals["close-midstream"].delivered >= 1
+    assert finals["reliable-close"].closed
+    assert finals["double-window"].hops[0].cwnd > 2
+    assert finals["lossless-2hop"].delivered == 3
+    assert finals["lossless-3hop"].delivered == 2

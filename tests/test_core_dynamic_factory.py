@@ -69,7 +69,6 @@ def test_dynamic_reentry_respects_cooldown():
     c, now = make_settled_dynamic(reentry_rounds=2, reentry_cooldown_rounds=50)
     for __ in range(2):
         now = full_round(c, rtt=0.1, now=now)
-    first_round = c.round_index
     assert c.reentries == 1
     # Leave the re-entered startup immediately via a delayed round.
     for __ in range(c.cwnd_cells):

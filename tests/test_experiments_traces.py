@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.fig1_traces import TraceConfig, TraceResult, run_trace_experiment
+from repro.experiments.fig1_traces import TraceConfig, run_trace_experiment
 from repro.units import seconds
 
 

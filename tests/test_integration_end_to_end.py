@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.factory import make_controller
 from repro.experiments.netgen import NetworkConfig, generate_network
 from repro.sim.rand import RandomStreams
 from repro.sim.simulator import Simulator

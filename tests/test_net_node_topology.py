@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.node import ForwardingHandler, Node
+from repro.net.node import ForwardingHandler
 from repro.net.packet import Packet
 from repro.net.topology import LinkSpec, Topology, build_chain, build_star
 from repro.units import mbit_per_second, milliseconds

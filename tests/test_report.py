@@ -45,9 +45,9 @@ def test_render_series_dimensions():
         [("a", [(0, 0), (1, 1)])], width=40, height=10
     )
     lines = out.splitlines()
-    plot_lines = [l for l in lines if l.startswith("|")]
+    plot_lines = [line for line in lines if line.startswith("|")]
     assert len(plot_lines) == 10
-    assert all(len(l) <= 41 for l in plot_lines)
+    assert all(len(line) <= 41 for line in plot_lines)
 
 
 def test_render_series_multiple_markers():

@@ -17,12 +17,10 @@ from repro.scenario import (
     NetworkConfig,
     NoChurn,
     OpenLoopChurn,
-    PlanCache,
     Probe,
     QueueDepthProbe,
     Scenario,
     ScenarioResult,
-    TopologySource,
     UtilizationProbe,
     Workload,
     list_parts,

@@ -22,7 +22,6 @@ from repro.scenario import (
     NoChurn,
     OpenLoopChurn,
     PlanCache,
-    QueueDepthProbe,
     Scenario,
     UtilizationProbe,
     plan_scenario,

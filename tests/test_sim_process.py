@@ -5,8 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.errors import SimulationError
-from repro.sim.process import Process, Waiter, spawn
-from repro.sim.simulator import Simulator
+from repro.sim.process import Waiter, spawn
 
 
 def test_process_sleeps_for_yielded_delay(sim):

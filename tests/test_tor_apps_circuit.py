@@ -6,8 +6,8 @@ import pytest
 
 from repro.tor.apps import SinkApp
 from repro.tor.cells import DataCell
-from repro.tor.circuit import CircuitFlow, CircuitSpec, allocate_circuit_id
-from repro.transport.config import CELL_PAYLOAD, TransportConfig
+from repro.tor.circuit import CircuitSpec, allocate_circuit_id
+from repro.transport.config import CELL_PAYLOAD
 
 from helpers import make_chain_flow
 

@@ -96,7 +96,6 @@ def test_unknown_circuit_raises(sim):
 
 def test_feedback_to_non_sender_raises(sim):
     __, hosts = chain_hosts(sim)
-    config = TransportConfig()
     sink_app = SinkApp(sim, 1, 498)
     hosts["c"].register_sink(1, "b", sink_app)
     cell = FeedbackCell(1, 0)

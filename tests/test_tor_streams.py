@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.tor.streams import MessageRecord, MultiStreamSink, Stream, StreamScheduler
-from repro.transport.config import CELL_PAYLOAD, TransportConfig
+from repro.transport.config import CELL_PAYLOAD
 
 from helpers import make_chain_flow
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.circuitstart import CircuitStartController
-from repro.sim.simulator import Simulator
 from repro.transport.config import TransportConfig
 from repro.transport.hop import HopSender
 
@@ -131,6 +130,40 @@ def test_counters(sim):
 def test_cwnd_cells_passthrough(sim):
     sender, controller, __w = make_sender(sim)
     assert sender.cwnd_cells == controller.cwnd_cells
+
+
+def test_close_releases_window_accounting(sim):
+    """Teardown with cells in flight must release the controller's
+    ``outstanding`` count — a departed circuit's controller otherwise
+    reports in-flight cells forever (the conservation leak the
+    ``repro.check`` invariant catalog asserts against)."""
+    sender, controller, wire = make_sender(sim)
+    for __i in range(5):
+        sender.enqueue(StubCell())
+    assert controller.outstanding == 2  # initial window's worth in flight
+    sender.close()
+    assert controller.outstanding == 0
+    assert sender.idle
+
+
+def test_close_releases_accounting_reliable_mode(sim):
+    config = TransportConfig(reliable=True)
+    controller = CircuitStartController(config)
+    sender, controller, wire = make_sender(sim, config, controller)
+    for __i in range(4):
+        sender.enqueue(StubCell())
+    sender.on_feedback(0)  # one acked, rest in flight
+    inflight = sender.inflight_cells
+    assert controller.outstanding == inflight > 0
+    sender.close()
+    assert controller.outstanding == 0
+    assert sender.inflight_cells == 0
+
+
+def test_release_outstanding_rejects_negative():
+    controller = CircuitStartController(TransportConfig())
+    with pytest.raises(ValueError):
+        controller.release_outstanding(-1)
 
 
 def test_window_never_violated(sim):

@@ -163,7 +163,9 @@ def test_unreliable_mode_stalls_on_loss(sim):
 
 
 def test_hop_gives_up_after_max_rounds(sim):
-    """A black-holed hop raises instead of retrying forever."""
+    """A black-holed hop tears its circuit down instead of retrying
+    forever — and the failure no longer unwinds ``Simulator.run()``
+    (the TorHost wires the sender's ``on_broken`` hook)."""
     config = TransportConfig(
         reliable=True, rto_min=0.01, rto_initial=0.05,
         max_retransmission_rounds=3,
@@ -172,8 +174,74 @@ def test_hop_gives_up_after_max_rounds(sim):
     flow, topo = lossy_flow(
         sim, "source", "relay1", drop_indices=range(10_000), config=config
     )
+    sim.run_until(60.0)  # must not raise
+    assert not flow.done
+    assert flow.hop_senders[0].broken
+    assert flow.hosts[0].circuits_broken == 1
+    # The breaking host retired the circuit and the broken sender
+    # released its window accounting on close.  (Its DESTROY toward the
+    # successor is swallowed by the same black-holed link that broke
+    # the hop — downstream hosts legitimately cannot learn.)
+    assert flow.spec.circuit_id in flow.hosts[0].retired
+    assert flow.spec.circuit_id not in flow.hosts[0].circuits
+    assert flow.source_controller.outstanding == 0
+
+
+def test_bare_sender_without_hook_still_raises(sim):
+    """The raise path survives for senders outside a TorHost (the
+    pre-hook contract): no ``on_broken`` means the error propagates."""
+    config = TransportConfig(
+        reliable=True, rto_min=0.01, rto_initial=0.05,
+        max_retransmission_rounds=2,
+    )
+    controller = CircuitStartController(config)
+    sender = HopSender(sim, config, controller, lambda cell, token: None)
+
+    class _Cell:
+        size = 512
+        hop_seq = -1
+
+    sender.enqueue(_Cell())
     with pytest.raises(HopBrokenError):
         sim.run_until(60.0)
+
+
+def test_midcircuit_break_propagates_destroy_upstream(sim):
+    """A relay hop that breaks mid-circuit destroys toward the source:
+    every upstream host retires the circuit (the downstream DESTROY is
+    swallowed by the same black-holed link that broke the hop)."""
+    config = TransportConfig(
+        reliable=True, rto_min=0.01, rto_initial=0.05,
+        max_retransmission_rounds=2,
+    )
+    flow, topo = lossy_flow(
+        sim, "relay2", "relay3", drop_indices=range(10_000), config=config
+    )
+    sim.run_until(60.0)
+    assert flow.hosts[2].circuits_broken == 1
+    # relay2 broke; relay1 and the source learned via DESTROY.
+    for host in flow.hosts[:3]:
+        assert flow.spec.circuit_id in host.retired
+        assert flow.spec.circuit_id not in host.circuits
+    for controller in flow.controllers:
+        assert controller.outstanding == 0
+
+
+def test_broken_hop_reports_through_observer(sim):
+    """`TorHost.on_circuit_broken` observes the failure after teardown."""
+    config = TransportConfig(
+        reliable=True, rto_min=0.01, rto_initial=0.05,
+        max_retransmission_rounds=2,
+    )
+    flow, topo = lossy_flow(
+        sim, "source", "relay1", drop_indices=range(10_000), config=config
+    )
+    seen = []
+    flow.hosts[0].on_circuit_broken = lambda cid, err: seen.append((cid, err))
+    sim.run_until(60.0)
+    assert len(seen) == 1
+    assert seen[0][0] == flow.spec.circuit_id
+    assert isinstance(seen[0][1], HopBrokenError)
 
 
 def test_karn_rule_skips_retransmitted_samples(sim):
