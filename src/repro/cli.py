@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--workers", type=int, default=1,
                        help="worker processes (default 1: serial)")
+    batch.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="execution knob passed to every job: run "
+                            "scenario-backed experiments on the sharded "
+                            "engine with up to N shards (output is "
+                            "byte-identical to the classic engine)")
     batch.add_argument("--base-seed", type=int, default=None,
                        help="deterministically re-seed seeded specs per job")
     batch.add_argument("--out", default="-",
@@ -250,7 +255,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # run_batch normalizes dicts, bare experiment names, and BatchJobs.
         result = run_batch(data, workers=args.workers,
                            base_seed=args.base_seed,
-                           plan_cache_dir=resolve_cache_dir(args.plan_cache))
+                           plan_cache_dir=resolve_cache_dir(args.plan_cache),
+                           execution=(
+                               {"shards": args.shards} if args.shards else None
+                           ))
     except TypeError as error:
         print(str(error), file=sys.stderr)
         return 2

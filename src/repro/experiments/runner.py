@@ -163,7 +163,7 @@ def _attach_disk_tier(plan_cache_dir: Optional[str]) -> None:
 
 
 def _execute_payload(
-    payload: Tuple[str, Dict[str, Any]]
+    payload: Tuple[str, Dict[str, Any], Optional[Dict[str, Any]]]
 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
     """Worker entry point: decode the spec, run, encode the result.
 
@@ -172,10 +172,19 @@ def _execute_payload(
     in the pool processes too; importing this module pulls in the
     :mod:`repro.experiments` package, which populates the registry, so
     spawned workers are as self-sufficient as forked ones.
+
+    The optional third payload element carries *execution knobs* —
+    non-spec attributes (e.g. ``shards``) applied to the decoded spec
+    object.  They steer how a job runs, never what it computes, and
+    because the encoded spec (``BatchItem.spec``) is built before
+    decoding, they stay out of the structured output entirely.
     """
-    name, spec_data = payload
+    name, spec_data, execution = payload
     experiment = get_experiment(name)
     spec = experiment.spec_type.from_dict(spec_data)
+    if execution:
+        for knob, value in execution.items():
+            object.__setattr__(spec, knob, value)
     before = DEFAULT_CACHE.stats()
     result = experiment.run(spec)
     after = DEFAULT_CACHE.stats()
@@ -188,6 +197,7 @@ def run_batch(
     workers: Optional[int] = None,
     base_seed: Optional[int] = None,
     plan_cache_dir: Optional[str] = None,
+    execution: Optional[Dict[str, Any]] = None,
 ) -> BatchResult:
     """Run every job and merge the structured outputs, in input order.
 
@@ -212,6 +222,12 @@ def run_batch(
         plans and generated networks are shared across processes and
         across repeated sweeps.  Purely a speedup: the structured
         output stays byte-identical with or without it.
+    execution:
+        Execution knobs applied to every job's decoded spec as
+        *non-field* attributes (e.g. ``{"shards": 4}`` for experiments
+        with a sharded engine path).  Knobs change how jobs execute,
+        not their output — they never enter ``BatchItem.spec`` or any
+        serialized result.
     """
     normalized = [_normalize_job(job) for job in jobs]
     specs = [job.resolved_spec() for job in normalized]
@@ -221,7 +237,8 @@ def run_batch(
             for index, (job, spec) in enumerate(zip(normalized, specs))
         ]
     payloads = [
-        (job.experiment, encode(spec)) for job, spec in zip(normalized, specs)
+        (job.experiment, encode(spec), execution)
+        for job, spec in zip(normalized, specs)
     ]
 
     if workers is None or workers <= 1:

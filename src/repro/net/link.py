@@ -117,6 +117,14 @@ class Interface:
         self._busy = False
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: Optional capture hook for sharded execution: called as
+        #: ``on_serialize(packet, arrival_time)`` when serialization of
+        #: *packet* begins, where *arrival_time* is the absolute
+        #: simulated time the packet would reach the peer.  Returning
+        #: ``True`` claims the packet — the local delivery event is not
+        #: scheduled (the captor delivers it, e.g. in another shard's
+        #: simulator).  The transmitter still frees up normally.
+        self.on_serialize = None
         # Bound methods allocated once here instead of once per cell in
         # the transmit loop.
         self._on_tx_complete = self._transmission_complete
@@ -188,6 +196,14 @@ class Interface:
         # ever cancelled, so both take the handle-free fast path.
         sim = self._sim
         sim.schedule_fast(tx_time, self._on_tx_complete)
+        # Parenthesized exactly like the schedule_fast offset below, so
+        # a captured packet's arrival time is bit-identical to the
+        # delivery time the suppressed local event would have had.
+        capture = self.on_serialize
+        if capture is not None and capture(
+            packet, sim.now + (tx_time + link.delay)
+        ):
+            return
         sim.schedule_fast(tx_time + link.delay, self._on_deliver, packet)
 
     def _transmission_complete(self) -> None:

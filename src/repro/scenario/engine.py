@@ -27,6 +27,7 @@ __all__ = [
     "KindRun",
     "ScenarioCircuitSample",
     "ScenarioResult",
+    "build_circuit_run",
     "run_planned",
     "run_scenario",
 ]
@@ -250,34 +251,51 @@ def run_planned(
     )
 
 
+def build_circuit_run(
+    scenario: Scenario,
+    planned: PlannedCircuit,
+    kind: str,
+    sim: Simulator,
+    network: GeneratedNetwork,
+) -> WorkloadRun:
+    """Instantiate one planned circuit and attach its workload.
+
+    Shared by the classic single-simulator engine and the sharded
+    engine (:mod:`repro.scenario.sharded`): both must build byte-
+    identical circuits from the same plan row.
+    """
+    workload = scenario.workloads[planned.workload]
+    spec = CircuitSpec(
+        circuit_id=planned.index + 1,
+        source=planned.source,
+        relays=list(planned.relays),
+        sink=planned.sink,
+    )
+    flow = CircuitFlow(
+        sim,
+        network.topology,
+        spec,
+        scenario.transport,
+        controller_kind=kind,
+        payload_bytes=workload.total_bytes(),
+        start_time=planned.start_time,
+        workload=workload.flow_workload,
+    )
+    run = workload.attach(sim, flow, planned)
+    run.workload_name = workload.part_name
+    return run
+
+
 def _run_kind(plan: ScenarioPlan, kind: str):
     """One controller kind's full run of the planned scenario."""
     scenario = plan.scenario
     sim = Simulator()
     network = instantiate_network(plan.network, sim)
 
-    runs: List[WorkloadRun] = []
-    for planned in plan.circuits:
-        workload = scenario.workloads[planned.workload]
-        spec = CircuitSpec(
-            circuit_id=planned.index + 1,
-            source=planned.source,
-            relays=list(planned.relays),
-            sink=planned.sink,
-        )
-        flow = CircuitFlow(
-            sim,
-            network.topology,
-            spec,
-            scenario.transport,
-            controller_kind=kind,
-            payload_bytes=workload.total_bytes(),
-            start_time=planned.start_time,
-            workload=workload.flow_workload,
-        )
-        run = workload.attach(sim, flow, planned)
-        run.workload_name = workload.part_name
-        runs.append(run)
+    runs: List[WorkloadRun] = [
+        build_circuit_run(scenario, planned, kind, sim, network)
+        for planned in plan.circuits
+    ]
 
     # Departures: completed circuits leave — their state is removed
     # from every host along the path, so churn reaches a steady-state

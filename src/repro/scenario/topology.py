@@ -65,16 +65,39 @@ class GeneratedTopology(TopologySource):
     #: Force the slowest generated relay into every path's middle
     #: position (the network-scale shared-bottleneck recipe).
     force_bottleneck: bool = False
+    #: Partition relays and endpoints into this many disjoint clusters
+    #: (by index, round-robin); circuit *i* draws its path and endpoints
+    #: entirely from cluster ``i % clusters``.  With
+    #: ``force_bottleneck=True`` the globally slowest relay is still
+    #: forced into every path, so clusters couple only through it — the
+    #: exact shape the sharded engine's epoch-barrier mode wants.
+    #: Without it, clusters are fully disjoint components that can run
+    #: embarrassingly parallel.
+    clusters: int = 1
     part: str = field(default="generated", init=False)
 
     # --- planning -------------------------------------------------------
 
     def validate(self, scenario: Any) -> None:
         """Reject scenario/topology combinations that cannot plan."""
-        if self.network.relay_count < scenario.hops:
+        if self.clusters < 1:
             raise ValueError(
-                "%d relays cannot form %d-hop paths"
-                % (self.network.relay_count, scenario.hops)
+                "clusters must be at least 1, got %d" % self.clusters
+            )
+        if self.network.relay_count // self.clusters < scenario.hops:
+            raise ValueError(
+                "%d relays split into %d clusters cannot form %d-hop paths"
+                % (self.network.relay_count, self.clusters, scenario.hops)
+            )
+        if min(self.network.client_count, self.network.server_count) < self.clusters:
+            raise ValueError(
+                "%d clusters need at least that many clients and servers "
+                "(have %d clients, %d servers)"
+                % (
+                    self.clusters,
+                    self.network.client_count,
+                    self.network.server_count,
+                )
             )
 
     def designates_bottleneck(self) -> bool:
@@ -84,9 +107,9 @@ class GeneratedTopology(TopologySource):
         """The network-plan cache key payload.
 
         Only the network config and the seed shape the generated
-        network — ``force_bottleneck`` affects path planning, not the
-        network itself — so scenarios differing in any other field
-        still share one cached :class:`NetworkPlan`.
+        network — ``force_bottleneck`` and ``clusters`` affect path
+        planning, not the network itself — so scenarios differing in
+        any other field still share one cached :class:`NetworkPlan`.
         """
         from ..serialize import encode
 
@@ -114,6 +137,10 @@ class GeneratedTopology(TopologySource):
         count: int,
     ) -> List[List[str]]:
         rng = streams.stream(stream_name(scenario.rng_namespace, "paths"))
+        if self.clusters > 1:
+            return self._clustered_paths(
+                scenario, rng, plan, directory, bottleneck, count
+            )
         if self.force_bottleneck:
             assert bottleneck is not None
             return forced_bottleneck_paths(
@@ -125,13 +152,75 @@ class GeneratedTopology(TopologySource):
             for __ in range(count)
         ]
 
+    def _clustered_paths(
+        self,
+        scenario: Any,
+        rng: Any,
+        plan: NetworkPlan,
+        directory: Any,
+        bottleneck: Optional[str],
+        count: int,
+    ) -> List[List[str]]:
+        """Per-cluster paths: circuit *i* draws from cluster ``i % k``.
+
+        Every non-bottleneck position is sampled bandwidth-weighted
+        without replacement from the circuit's own cluster pool, so no
+        path touches another cluster's relays.  With a forced
+        bottleneck, the (global) bottleneck relay takes the middle
+        position of every path regardless of its home cluster.
+        """
+        k = self.clusters
+        middle = scenario.hops // 2
+        # exclusion list per cluster: every relay outside the cluster,
+        # plus the forced bottleneck (it must not be drawn twice).
+        excludes: List[List[str]] = []
+        for cluster in range(k):
+            pool = set(plan.relay_names[cluster::k])
+            pool.discard(bottleneck)
+            excludes.append(
+                [name for name in plan.relay_names if name not in pool]
+            )
+        paths: List[List[str]] = []
+        for index in range(count):
+            exclude = excludes[index % k]
+            if self.force_bottleneck:
+                assert bottleneck is not None
+                others = [
+                    relay.name
+                    for relay in directory.weighted_sample(
+                        rng, scenario.hops - 1, exclude=exclude
+                    )
+                ]
+                paths.append(others[:middle] + [bottleneck] + others[middle:])
+            else:
+                paths.append(
+                    [
+                        relay.name
+                        for relay in directory.weighted_sample(
+                            rng, scenario.hops, exclude=exclude
+                        )
+                    ]
+                )
+        return paths
+
     def endpoints(self, plan: NetworkPlan, index: int) -> Tuple[str, str]:
         """(source, sink) hosts of circuit *index*.
 
         Endpoints are reused round-robin — fewer endpoints than
         circuits is intentional at network scale (clients run several
-        circuits, like a Tor client does).
+        circuits, like a Tor client does).  With clusters, circuit *i*
+        only uses cluster ``i % k``'s endpoints, keeping clusters
+        leaf-disjoint.
         """
+        k = self.clusters
+        if k > 1:
+            servers = plan.server_names[index % k :: k]
+            clients = plan.client_names[index % k :: k]
+            turn = index // k
+            return (
+                servers[turn % len(servers)],
+                clients[turn % len(clients)],
+            )
         return (
             plan.server_names[index % len(plan.server_names)],
             plan.client_names[index % len(plan.client_names)],

@@ -24,6 +24,21 @@ ordering holds *across* paths):
   completions, deliveries, feedback).  On the per-cell hot path this
   saves one object allocation and its bookkeeping per event.
 
+Two further details keep the queue cheap under pathological loads:
+
+* **Same-timestamp burst ring.**  Consecutive fast-path pushes for one
+  identical timestamp land in an array-backed ring (a plain list with a
+  consume index) instead of the heap: O(1) append and O(1) pop versus
+  O(log n) sift each way.  The pop side merge-compares the ring head
+  against the heap top on ``(time, seq)``, so ordering is exactly what
+  a heap-only queue would produce.
+* **Heap compaction.**  Cancelled handle entries normally leave the
+  heap lazily, when they surface at the top.  Under cancel-heavy load
+  (churn tearing down circuits cancels many timers) the garbage can
+  outnumber the live entries; once it does, the heap is rebuilt
+  in place — filter plus ``heapify`` — so memory and per-op cost stay
+  O(live events), not O(events ever scheduled).
+
 Both paths are exercised by the hypothesis property tests in
 ``tests/test_sim_events.py``.
 """
@@ -133,14 +148,29 @@ class EventQueue:
     knows nothing about simulated time; the simulator validates times
     before pushing.  This split keeps the heap logic independently
     testable (including with hypothesis).
+
+    Fast-path entries whose timestamp matches the current burst ring's
+    timestamp bypass the heap entirely (see the module docstring); the
+    ring's entries are always 4-tuples in seq-ascending order, so the
+    merge on the pop side is a single ``(time, seq)`` comparison.
     """
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_counter", "_live", "_burst", "_burst_pos")
+
+    #: Compaction only kicks in once at least this many dead entries
+    #: have accumulated — rebuilding a ten-entry heap is noise.
+    _COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: List[Tuple[Any, ...]] = []
         self._counter = itertools.count()
         self._live = 0
+        # Same-timestamp burst ring: 4-tuples sharing one timestamp, in
+        # push (= seq) order.  ``_burst_pos`` is the consume index; the
+        # list is cleared (in place) whenever it fully drains, so
+        # "ring empty" always implies ``_burst_pos == 0``.
+        self._burst: List[Tuple[Any, ...]] = []
+        self._burst_pos = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled, unfired) events."""
@@ -175,17 +205,44 @@ class EventQueue:
         :class:`EventHandle` is allocated, only the heap tuple itself.
         FIFO-within-timestamp ordering against :meth:`push` events is
         preserved because both paths draw from the same counter.
+
+        Consecutive fast pushes for one identical timestamp accumulate
+        in the burst ring (O(1) each) instead of the heap; any other
+        timestamp goes to the heap as usual.
         """
         if time != time:
             raise SchedulingError("event time must not be NaN")
-        heapq.heappush(self._heap, (time, next(self._counter), callback, args))
+        burst = self._burst
+        if not burst or burst[0][0] == time:
+            burst.append((time, next(self._counter), callback, args))
+        else:
+            heapq.heappush(self._heap, (time, next(self._counter), callback, args))
         self._live += 1
+
+    def _burst_head(self) -> Optional[Tuple[Any, ...]]:
+        """The ring's next entry, or ``None`` when the ring is empty."""
+        if self._burst_pos < len(self._burst):
+            return self._burst[self._burst_pos]
+        return None
+
+    def _pop_burst(self) -> Tuple[Any, ...]:
+        """Consume and return the ring head (caller checked non-empty)."""
+        burst = self._burst
+        entry = burst[self._burst_pos]
+        self._burst_pos += 1
+        if self._burst_pos == len(burst):
+            burst.clear()
+            self._burst_pos = 0
+        return entry
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when empty."""
         self._drop_dead()
+        head = self._burst_head()
         if not self._heap:
-            return None
+            return head[0] if head is not None else None
+        if head is not None and (head[0], head[1]) < (self._heap[0][0], self._heap[0][1]):
+            return head[0]
         return self._heap[0][0]
 
     def pop(self) -> EventHandle:
@@ -199,6 +256,14 @@ class EventQueue:
         :meth:`list.pop` semantics, callers check :func:`len` first).
         """
         self._drop_dead()
+        head = self._burst_head()
+        if head is not None and (
+            not self._heap
+            or (head[0], head[1]) < (self._heap[0][0], self._heap[0][1])
+        ):
+            entry = self._pop_burst()
+            self._live -= 1
+            return EventHandle(entry[0], entry[1], entry[2], entry[3])
         if not self._heap:
             raise IndexError("pop from empty event queue")
         entry = heapq.heappop(self._heap)
@@ -217,7 +282,15 @@ class EventQueue:
         handle-path entries are marked fired here so the caller can
         invoke the callback directly.
         """
+        self._drop_dead()
         heap = self._heap
+        head = self._burst_head()
+        if head is not None and (
+            not heap or (head[0], head[1]) < (heap[0][0], heap[0][1])
+        ):
+            entry = self._pop_burst()
+            self._live -= 1
+            return entry[0], entry[2], entry[3]
         while heap:
             entry = heapq.heappop(heap)
             if len(entry) == 4:
@@ -244,17 +317,38 @@ class EventQueue:
     def clear(self) -> int:
         """Drop every pending event; return how many live ones were dropped."""
         dropped = self._live
-        for entry in self._heap:
+        # Snapshot: cancelling can trigger an in-place compaction of
+        # ``_heap``, which must not race the iteration.
+        for entry in tuple(self._heap):
             if len(entry) == 3:
                 entry[2].cancel()
         self._heap.clear()
+        self._burst.clear()
+        self._burst_pos = 0
         self._live = 0
         return dropped
 
     def _note_handle_cancelled(self) -> None:
-        """One live handle entry in the heap was cancelled."""
+        """One live handle entry in the heap was cancelled.
+
+        Once dead entries outnumber the live ones still in the *heap*
+        (ring entries cannot be cancelled), the heap is compacted in
+        place — filter out the garbage, then re-heapify.  In-place slice
+        assignment matters: the simulator's hot loop holds a direct
+        reference to the heap list.
+        """
         if self._live > 0:
             self._live -= 1
+        heap = self._heap
+        heap_live = self._live - (len(self._burst) - self._burst_pos)
+        dead = len(heap) - heap_live
+        if dead > heap_live and dead >= self._COMPACT_MIN_DEAD:
+            heap[:] = [
+                entry
+                for entry in heap
+                if len(entry) == 4 or not entry[2]._cancelled
+            ]
+            heapq.heapify(heap)
 
     def _drop_dead(self) -> None:
         """Discard cancelled entries sitting at the top of the heap."""

@@ -202,23 +202,38 @@ class Simulator:
         self._stop_requested = False
         executed = 0
         # The loop body is deliberately inlined (no peek/pop method
-        # pair, locals for the heap and queue): it runs once per event
-        # and dominates engine throughput.
+        # pair, locals for the heap, burst ring and queue): it runs once
+        # per event and dominates engine throughput.  The burst ring
+        # holds same-timestamp fast-path entries in seq order, so the
+        # merge against the heap top is one (time, seq) comparison.
         queue = self._queue
         heap = queue._heap
+        burst = queue._burst
         completed = True
         try:
-            while heap:
+            while True:
+                entry = heap[0] if heap else None
+                if entry is not None and len(entry) == 3 and entry[2]._cancelled:
+                    heappop(heap)  # dead entry surfacing; already uncounted
+                    continue
+                bpos = queue._burst_pos
+                if bpos < len(burst):
+                    bentry = burst[bpos]
+                    if entry is None or (bentry[0], bentry[1]) < (entry[0], entry[1]):
+                        entry = bentry
+                        bpos += 1
+                    else:
+                        bpos = -1
+                else:
+                    bpos = -1
+                if entry is None:
+                    break
                 if self._stop_requested:
                     completed = False
                     break
                 if max_events is not None and executed >= max_events:
                     completed = False
                     break
-                entry = heap[0]
-                if len(entry) == 3 and entry[2]._cancelled:
-                    heappop(heap)  # dead entry surfacing; already uncounted
-                    continue
                 event_time = entry[0]
                 if until is not None and event_time > until:
                     break
@@ -227,7 +242,14 @@ class Simulator:
                         "event at %r is in the past (now %r)"
                         % (event_time, self._now)
                     )
-                heappop(heap)
+                if bpos >= 0:
+                    if bpos == len(burst):
+                        burst.clear()
+                        queue._burst_pos = 0
+                    else:
+                        queue._burst_pos = bpos
+                else:
+                    heappop(heap)
                 queue._live -= 1
                 self._now = event_time
                 self._events_executed += 1

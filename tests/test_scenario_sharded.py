@@ -1,0 +1,324 @@
+"""Shard-count invariance of the sharded scenario engine.
+
+The contract under test: :func:`repro.scenario.sharded.run_sharded`
+produces output **byte-identical** to the classic single-simulator
+engine at any shard count — in disjoint-component mode (worker
+processes), in epoch-barrier coupled mode (multiple simulators
+exchanging packets at barriers), serial or pooled, cold or warm plan
+cache.  Identity is pinned on the JSON serialization of the full
+result, so every sample, probe series value and the engine's event
+count must match bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.churn_study import run_churn_study
+from repro.experiments.netgen import NetworkConfig
+from repro.experiments.netscale import NetScaleConfig
+from repro.experiments.registry import get_experiment
+from repro.scenario.cache import PlanCache
+from repro.scenario.churn import NoChurn
+from repro.scenario.engine import run_planned
+from repro.scenario.probes import (
+    GoodputProbe,
+    QueueDepthProbe,
+    UtilizationProbe,
+)
+from repro.scenario.sharded import (
+    ShardingError,
+    partition_plan,
+    run_scenario_sharded,
+    run_sharded,
+)
+from repro.scenario.spec import Scenario, plan_scenario
+from repro.scenario.topology import GeneratedTopology
+from repro.scenario.workloads import BulkWorkload, InteractiveWorkload
+from repro.serialize import encode
+from repro.units import kib
+
+
+def result_bytes(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def coupled_scenario(**overrides) -> Scenario:
+    """Small forced-bottleneck scenario: clusters meet at one relay."""
+    defaults = dict(
+        topology=GeneratedTopology(
+            network=NetworkConfig(
+                relay_count=12, client_count=8, server_count=8
+            ),
+            force_bottleneck=True,
+            clusters=2,
+        ),
+        workloads=(
+            BulkWorkload(payload_bytes=kib(40)),
+            InteractiveWorkload(message_count=3),
+        ),
+        probes=(
+            UtilizationProbe(interval=0.25),
+            QueueDepthProbe(interval=0.25),
+            GoodputProbe(interval=0.25),
+        ),
+        circuit_count=8,
+        max_sim_time=60.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def disjoint_scenario(**overrides) -> Scenario:
+    """Four leaf-disjoint clusters: embarrassingly parallel components."""
+    defaults = dict(
+        topology=GeneratedTopology(
+            network=NetworkConfig(
+                relay_count=16, client_count=8, server_count=8
+            ),
+            force_bottleneck=False,
+            clusters=4,
+        ),
+        workloads=(BulkWorkload(payload_bytes=kib(60)),),
+        probes=(GoodputProbe(interval=0.25),),
+        circuit_count=12,
+        max_sim_time=60.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+
+def test_clustered_plan_partitions_into_components():
+    plan = plan_scenario(disjoint_scenario())
+    components = partition_plan(plan)
+    assert len(components) == 4
+    # Components preserve plan order and cover every circuit once.
+    indices = [c.index for comp in components for c in comp]
+    assert sorted(indices) == list(range(len(plan.circuits)))
+    for comp in components:
+        assert [c.index for c in comp] == sorted(c.index for c in comp)
+    # Components share no leaf.
+    leaf_sets = [
+        {leaf for c in comp for leaf in (c.source, c.sink, *c.relays)}
+        for comp in components
+    ]
+    for i, a in enumerate(leaf_sets):
+        for b in leaf_sets[i + 1:]:
+            assert not (a & b)
+
+
+def test_forced_bottleneck_couples_all_clusters():
+    plan = plan_scenario(coupled_scenario())
+    assert len(partition_plan(plan)) == 1  # coupled through the bottleneck
+    groups = partition_plan(plan, exclude=(plan.bottleneck_relay,))
+    assert len(groups) >= 2  # clusters separate once it is excluded
+    for group in groups:
+        for circuit in group:
+            assert plan.bottleneck_relay in circuit.relays
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: disjoint-component mode
+# ----------------------------------------------------------------------
+
+
+def test_disjoint_mode_byte_identical_at_any_shard_count():
+    plan = plan_scenario(disjoint_scenario())
+    classic = result_bytes(run_planned(plan))
+    # shards=1 runs the components serially, shards>1 over a process
+    # pool; both go through the identical encode -> run -> decode path.
+    for shards in (1, 2, 4):
+        assert result_bytes(run_sharded(plan, shards=shards)) == classic
+
+
+def test_disjoint_mode_rejects_global_probes():
+    scenario = disjoint_scenario(
+        probes=(UtilizationProbe(interval=0.25, scope="relays"),)
+    )
+    plan = plan_scenario(scenario)
+    with pytest.raises(ShardingError, match="disjoint"):
+        run_sharded(plan, shards=2)
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: epoch-barrier coupled mode
+# ----------------------------------------------------------------------
+
+
+def test_coupled_mode_byte_identical_to_classic_engine():
+    plan = plan_scenario(coupled_scenario())
+    classic = result_bytes(run_planned(plan))
+    # shards=1 routes to the classic engine; >= 2 runs the epoch-
+    # barrier coupled engine (one simulator per cluster group plus the
+    # bottleneck's own).  Output must be byte-identical either way —
+    # including events_executed, because captures replace suppressed
+    # local deliveries one for one.
+    for shards in (1, 2, 4):
+        assert result_bytes(run_sharded(plan, shards=shards)) == classic
+
+
+def test_coupled_mode_without_clusters_byte_identical():
+    # Even a classic netscale shape (one cluster, every circuit through
+    # the forced bottleneck) must shard cleanly: one big group shard
+    # plus the bottleneck shard.
+    plan = plan_scenario(coupled_scenario(
+        topology=GeneratedTopology(
+            network=NetworkConfig(
+                relay_count=10, client_count=6, server_count=6
+            ),
+            force_bottleneck=True,
+        ),
+        circuit_count=6,
+    ))
+    classic = result_bytes(run_planned(plan))
+    assert result_bytes(run_sharded(plan, shards=2)) == classic
+
+
+def test_coupled_mode_rejects_relay_scoped_probes():
+    scenario = coupled_scenario(
+        probes=(UtilizationProbe(interval=0.25, scope="relays"),)
+    )
+    with pytest.raises(ShardingError, match="coupled"):
+        run_sharded(plan_scenario(scenario), shards=2)
+
+
+def test_coupled_mode_rejects_mismatched_probe_grids():
+    scenario = coupled_scenario(
+        probes=(
+            UtilizationProbe(interval=0.25),
+            QueueDepthProbe(interval=0.5),
+        )
+    )
+    with pytest.raises(ShardingError, match="interval"):
+        run_sharded(plan_scenario(scenario), shards=2)
+
+
+# ----------------------------------------------------------------------
+# Plan cache: cold vs warm
+# ----------------------------------------------------------------------
+
+
+def test_sharded_result_identical_cold_and_warm_cache(tmp_path):
+    scenario = coupled_scenario()
+    from repro.scenario.cache import DiskPlanCache
+
+    cold_cache = PlanCache()
+    cold_cache.disk = DiskPlanCache(str(tmp_path))
+    cold = result_bytes(
+        run_scenario_sharded(scenario, cache=cold_cache, shards=3)
+    )
+    warm_cache = PlanCache()  # fresh memory tier, warm disk tier
+    warm_cache.disk = DiskPlanCache(str(tmp_path))
+    warm = result_bytes(
+        run_scenario_sharded(scenario, cache=warm_cache, shards=3)
+    )
+    assert warm == cold
+    stats = warm_cache.stats()
+    assert stats["disk_plan_hits"] >= 1  # the warm run actually hit disk
+
+
+# ----------------------------------------------------------------------
+# Experiment-level invariance: netscale and churn-study
+# ----------------------------------------------------------------------
+
+
+def small_netscale(**overrides) -> NetScaleConfig:
+    defaults = dict(
+        circuit_count=8,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        seed=5,
+        network=NetworkConfig(relay_count=9, client_count=6, server_count=6),
+    )
+    defaults.update(overrides)
+    return NetScaleConfig(**defaults)
+
+
+def test_netscale_shards_knob_is_invisible_and_invariant():
+    spec = small_netscale()
+    experiment = get_experiment("netscale")
+    baseline = json.dumps(encode(experiment.run(spec)), sort_keys=True)
+    for shards in (2, 4):
+        sharded_spec = spec.with_shards(shards)
+        # The knob never enters the serialized spec (plan-cache keys
+        # and batch outputs stay shard-count independent) ...
+        assert encode(sharded_spec) == encode(spec)
+        # ... and never changes the result.
+        out = json.dumps(encode(experiment.run(sharded_spec)), sort_keys=True)
+        assert out == baseline
+
+
+def test_netscale_clusters_field_plans_disjoint_paths():
+    spec = small_netscale(
+        circuit_count=6,
+        clusters=2,
+        network=NetworkConfig(relay_count=12, client_count=6, server_count=6),
+    )
+    scenario = spec.to_scenario()
+    plan = plan_scenario(scenario)
+    # Forced bottleneck: still one coupled component ...
+    assert len(partition_plan(plan)) == 1
+    # ... but several groups once the bottleneck is excluded (possibly
+    # finer than the clusters — circuits of one cluster that share no
+    # relay split further), and no group ever mixes clusters.
+    groups = partition_plan(plan, exclude=(plan.bottleneck_relay,))
+    assert len(groups) >= 2
+    for group in groups:
+        assert len({c.index % 2 for c in group}) == 1
+
+
+def test_churn_study_shards_knob_byte_identical():
+    def study(**kw):
+        from repro.experiments.churn_study import ChurnStudyConfig
+
+        return ChurnStudyConfig(
+            rates=(2.0, 6.0),
+            circuit_count=6,
+            bulk_payload_bytes=kib(60),
+            interactive_payload_bytes=kib(10),
+            start_window=1.0,
+            horizon=3.0,
+            network=NetworkConfig(
+                relay_count=8, client_count=6, server_count=6
+            ),
+            **kw,
+        )
+
+    baseline = json.dumps(encode(run_churn_study(study())), sort_keys=True)
+    # Sharded engine per point, serial sweep.
+    sharded = run_churn_study(study().with_shards(2))
+    assert json.dumps(encode(sharded), sort_keys=True) == baseline
+    # Sharded engine per point *and* pooled sweep points: the knob
+    # travels through run_batch's execution channel into the workers.
+    pooled = run_churn_study(study().with_workers(2).with_shards(2))
+    assert json.dumps(encode(pooled), sort_keys=True) == baseline
+
+
+def test_scenario_without_bottleneck_or_components_falls_back():
+    # One coupled component, no designated bottleneck: nothing to
+    # shard on — run_sharded must quietly use the classic engine.
+    scenario = coupled_scenario(
+        topology=GeneratedTopology(
+            network=NetworkConfig(
+                relay_count=9, client_count=6, server_count=6
+            ),
+            force_bottleneck=False,
+        ),
+        probes=(GoodputProbe(interval=0.25),),
+        circuit_count=6,
+        churn=NoChurn(start_window=1.0),
+    )
+    plan = plan_scenario(scenario)
+    assert len(partition_plan(plan)) == 1
+    assert plan.bottleneck_relay is None
+    classic = result_bytes(run_planned(plan))
+    assert result_bytes(run_sharded(plan, shards=4)) == classic

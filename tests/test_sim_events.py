@@ -333,3 +333,68 @@ def test_property_peek_time_matches_next_pop(ops):
     while q:
         expected = q.peek_time()
         assert q.pop().time == expected
+
+
+# ----------------------------------------------------------------------
+# Heap compaction under cancel-heavy load
+# ----------------------------------------------------------------------
+
+
+def test_compaction_keeps_heap_proportional_to_live_events():
+    # Cancel-heavy regression: without compaction the heap retains one
+    # dead 3-tuple per cancelled event until its time is reached, so a
+    # workload that schedules and cancels N timers (retransmission
+    # timers, departure watchdogs) holds O(N) memory while only O(live)
+    # events are real.  Compaction bounds the heap at O(live).
+    q = EventQueue()
+    live = []
+    for wave in range(20):
+        handles = [
+            q.push(1.0 + wave + i * 1e-6, lambda: None) for i in range(500)
+        ]
+        keep = handles[::100]  # keep 5 of each 500
+        for h in handles:
+            if h not in keep:
+                assert h.cancel()
+        live.extend(keep)
+        # The invariant after every cancel: dead entries never exceed
+        # max(live entries, compaction threshold).
+        assert len(q._heap) <= 2 * len(q) + q._COMPACT_MIN_DEAD
+    assert len(q) == len(live)
+    # Everything still pops in order, dead entries never surface.
+    popped = [q.pop() for __ in range(len(live))]
+    assert popped == live
+    assert not q
+
+
+def test_compaction_preserves_order_with_burst_ring():
+    # Cancellation-triggered compaction must not disturb fast-path
+    # entries sitting in the same-timestamp burst ring.
+    q = EventQueue()
+    handles = [q.push(5.0, lambda __i: None, (i,)) for i in range(200)]
+    order = []
+    for i in range(10):
+        q.push_fast(1.0, order.append, (i,))  # one burst, same time
+    for h in handles[:-1]:
+        h.cancel()
+    fired = []
+    while q:
+        time, callback, args = q.pop_callback()
+        fired.append(time)
+        callback(*args)
+    # Burst entries fired first (t=1.0) in FIFO order, then the one
+    # surviving handle event; dead entries never surfaced.
+    assert order == list(range(10))
+    assert fired == [1.0] * 10 + [5.0]
+
+
+def test_compaction_during_clear_snapshot():
+    # clear() cancels handles one by one; a cancellation that triggers
+    # in-place compaction mid-iteration must not break the snapshot.
+    q = EventQueue()
+    handles = [q.push(1.0 + i, lambda: None) for i in range(300)]
+    for h in handles[: len(handles) // 2]:
+        h.cancel()
+    assert q.clear() == len(handles) - len(handles) // 2
+    assert not q
+    assert q._heap == []
