@@ -63,3 +63,34 @@ def test_batch_sweep_serial_vs_parallel(benchmark, save_artifact):
     assert serial_blob == json.dumps(parallel.to_dict(), sort_keys=True,
                                      indent=2)
     save_artifact("batch_sweep_trace.json", serial_blob)
+
+
+def test_batch_sweep_checkpointed_incremental(benchmark, save_artifact,
+                                              tmp_path):
+    """The incremental sweep: what a warm checkpoint directory saves.
+
+    The first pass populates the checkpoint directory (in CI a
+    persisted ``$REPRO_CHECKPOINT`` directory restored across runs, so
+    unchanged code re-serves previous runs' results; entries stamped by
+    other commits are misses by construction).  The timed pass is the
+    re-submission — all-checkpoint when nothing changed — and must
+    recompute nothing while merging byte-identical output.
+    """
+    from repro.jobs import resolve_checkpoint_dir
+
+    directory = resolve_checkpoint_dir(None) or str(tmp_path / "ckpt")
+    cold = run_batch(_sweep_jobs(), workers=1, checkpoint_dir=directory)
+    warm = benchmark.pedantic(
+        lambda: run_batch(_sweep_jobs(), workers=1,
+                          checkpoint_dir=directory),
+        rounds=1, iterations=1,
+    )
+    assert warm.checkpoint["computed"] == 0
+    assert warm.checkpoint["reused"] == len(_sweep_jobs())
+    assert json.dumps(warm.to_dict(), sort_keys=True) == \
+        json.dumps(cold.to_dict(), sort_keys=True)
+    counters = ("reused", "computed", "duplicates", "failed")
+    save_artifact("batch_sweep_checkpoint.json", json.dumps({
+        "cold": {name: cold.checkpoint[name] for name in counters},
+        "warm": {name: warm.checkpoint[name] for name in counters},
+    }, indent=2, sort_keys=True))

@@ -15,6 +15,18 @@ On top of the generated subcommands:
 * ``repro batch specs.json`` — run a JSON job file as a (parallel) sweep;
 * ``repro batch --plan``     — validate the file *and* print per-job
   estimated cost (cells × hops) plus sweep totals, without running;
+* ``repro batch --dry-run``  — validate every job (including execution
+  knobs like ``--shards`` against each target experiment) and report
+  per-job checkpoint keys, so a bad sweep file fails before any
+  simulation starts;
+* ``repro serve specs.json --checkpoint DIR`` — run a sweep as a
+  crash-resumable service: per-job results checkpoint to DIR as they
+  finish, progress streams to stderr, and a partial snapshot lands in
+  ``DIR/partial.json`` while the sweep runs;
+* ``repro resume specs.json --checkpoint DIR`` — finish an interrupted
+  sweep: checkpointed jobs are served from disk, orphaned leases are
+  re-run, and the merged output is byte-identical to an uninterrupted
+  ``repro batch`` at any worker count;
 * ``repro scenario list``    — enumerate the registered scenario parts
   (topology sources, workloads, churn processes, probes);
 * ``repro cache info|clear`` — inspect or empty the on-disk plan cache;
@@ -30,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -65,37 +78,68 @@ def build_parser() -> argparse.ArgumentParser:
     lst.add_argument("--json", action="store_true",
                      help="machine-readable listing")
 
+    def add_sweep_arguments(command: argparse.ArgumentParser,
+                            progress_default: str) -> None:
+        """The flags `batch`, `serve` and `resume` share."""
+        command.add_argument(
+            "specs",
+            help='job file: [{"experiment": "trace", "spec": {...}}, ...]',
+        )
+        command.add_argument("--workers", type=int, default=1,
+                             help="worker processes (default 1: serial)")
+        command.add_argument("--shards", type=int, default=None, metavar="N",
+                             help="execution knob passed to every job: run "
+                                  "scenario-backed experiments on the "
+                                  "sharded engine with up to N shards "
+                                  "(output is byte-identical to the "
+                                  "classic engine)")
+        command.add_argument("--base-seed", type=int, default=None,
+                             help="deterministically re-seed seeded specs "
+                                  "per job")
+        command.add_argument("--out", default="-",
+                             help="merged JSON output file "
+                                  "(default: stdout)")
+        command.add_argument("--plan-cache", default=None, metavar="DIR",
+                             help="share scenario/network plans across "
+                                  "workers and sweeps through this "
+                                  "directory (default: $REPRO_PLAN_CACHE; "
+                                  "unset disables disk caching)")
+        command.add_argument("--checkpoint", default=None, metavar="DIR",
+                             help="checkpoint each completed job's result "
+                                  "under DIR as it finishes, and serve "
+                                  "already-checkpointed jobs from disk "
+                                  "(default: $REPRO_CHECKPOINT; unset "
+                                  "disables checkpointing for `batch`)")
+        command.add_argument("--progress", default=progress_default,
+                             choices=("lines", "table", "none"),
+                             help="streaming progress on stderr as jobs "
+                                  "finish: one line per job, a re-rendered "
+                                  "partial table, or nothing (default: "
+                                  "%(default)s)")
+
     batch = sub.add_parser(
         "batch", help="run a JSON file of experiment specs as one sweep"
     )
-    batch.add_argument(
-        "specs",
-        help='job file: [{"experiment": "trace", "spec": {...}}, ...]',
-    )
-    batch.add_argument("--workers", type=int, default=1,
-                       help="worker processes (default 1: serial)")
-    batch.add_argument("--shards", type=int, default=None, metavar="N",
-                       help="execution knob passed to every job: run "
-                            "scenario-backed experiments on the sharded "
-                            "engine with up to N shards (output is "
-                            "byte-identical to the classic engine)")
-    batch.add_argument("--base-seed", type=int, default=None,
-                       help="deterministically re-seed seeded specs per job")
-    batch.add_argument("--out", default="-",
-                       help="merged JSON output file (default: stdout)")
+    add_sweep_arguments(batch, progress_default="none")
     batch.add_argument("--dry-run", action="store_true",
                        help="validate the spec file (decode every job, "
-                            "report unknown experiments/fields) without "
-                            "running anything")
+                            "check execution knobs like --shards against "
+                            "each experiment, report per-job checkpoint "
+                            "keys) without running anything")
     batch.add_argument("--plan", action="store_true",
                        help="like --dry-run, plus per-job estimated cost "
                             "(cells × hops) and sweep totals, so big "
                             "sweeps are predictable before launch")
-    batch.add_argument("--plan-cache", default=None, metavar="DIR",
-                       help="share scenario/network plans across workers "
-                            "and sweeps through this directory (default: "
-                            "$REPRO_PLAN_CACHE; unset disables disk "
-                            "caching)")
+
+    add_sweep_arguments(sub.add_parser(
+        "serve",
+        help="run a sweep as a crash-resumable checkpointing service",
+    ), progress_default="lines")
+
+    add_sweep_arguments(sub.add_parser(
+        "resume",
+        help="finish an interrupted sweep from its checkpoint directory",
+    ), progress_default="lines")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk plan cache"
@@ -231,26 +275,102 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
+def _load_jobs(path: str) -> Optional[list]:
+    """Read a sweep's job file; ``None`` (after a stderr message) if bad."""
     try:
-        with open(args.specs) as f:
+        with open(path) as f:
             data = json.load(f)
     except OSError as error:
         print("cannot read batch file: %s" % error, file=sys.stderr)
-        return 2
+        return None
     except json.JSONDecodeError as error:
-        print("batch file %s is not valid JSON: %s" % (args.specs, error),
+        print("batch file %s is not valid JSON: %s" % (path, error),
               file=sys.stderr)
-        return 2
+        return None
     if isinstance(data, dict):
         data = data.get("jobs", [])
     if not isinstance(data, list) or not data:
-        print("batch file %s holds no jobs" % args.specs, file=sys.stderr)
-        return 2
-    if args.dry_run or args.plan:
-        return _dry_run_batch(args.specs, data, plan=args.plan)
+        print("batch file %s holds no jobs" % path, file=sys.stderr)
+        return None
+    return data
+
+
+def _print_cache_stats(result) -> None:
+    """The plan-cache summary line, on stderr (observability only)."""
+    stats = getattr(result, "plan_cache", None)
+    if not stats or not sum(stats.values()):
+        return
+    line = (
+        "scenario plan cache: %d plan hit(s) / %d miss(es), "
+        "%d network hit(s) / %d miss(es)"
+        % (stats.get("plan_hits", 0), stats.get("plan_misses", 0),
+           stats.get("network_hits", 0), stats.get("network_misses", 0))
+    )
+    disk_consults = sum(
+        stats.get(key, 0)
+        for key in ("disk_plan_hits", "disk_plan_misses",
+                    "disk_network_hits", "disk_network_misses")
+    )
+    if disk_consults:
+        line += (
+            "; disk: %d plan hit(s) / %d miss(es), "
+            "%d network hit(s) / %d miss(es)"
+            % (stats.get("disk_plan_hits", 0),
+               stats.get("disk_plan_misses", 0),
+               stats.get("disk_network_hits", 0),
+               stats.get("disk_network_misses", 0))
+        )
+    print(line, file=sys.stderr)
+
+
+def _run_sweep(args: argparse.Namespace, data: list,
+               checkpoint_dir: Optional[str], resume: bool) -> int:
+    """The shared engine behind ``batch``, ``serve`` and ``resume``.
+
+    Streams progress and ``partial.json`` as jobs finish, writes the
+    merged JSON at the end, and maps sweep outcomes to exit codes:
+    0 all jobs ok, 1 some jobs failed (the sweep itself completed),
+    2 usage/spec errors, 130 interrupted (Ctrl-C), 3 a worker died —
+    the latter two with a resume hint when checkpointing is on.
+    """
+    from .jobs.dispatch import SweepBroken, SweepInterrupted
     from .scenario.cache import resolve_cache_dir
 
+    progress = args.progress
+    store = None
+    if checkpoint_dir:
+        from .jobs.store import JobStore
+
+        store = JobStore(checkpoint_dir)
+    completed: list = []
+    sources: dict = {}
+
+    def on_item(item, done: int, total: int, source: str) -> None:
+        completed.append(item)
+        sources[item.index] = source
+        if progress == "lines":
+            if item.error is not None:
+                status = "error: %s" % item.error.get("type", "Error")
+            elif source == "run":
+                status = "ok"
+            else:
+                status = "ok (%s)" % source
+            label = " [%s]" % item.label if item.label else ""
+            print("[%d/%d] job %d: %s%s %s"
+                  % (done, total, item.index, item.experiment, label,
+                     status),
+                  file=sys.stderr)
+        elif progress == "table":
+            from .report.partial import render_partial_table
+
+            print(render_partial_table(completed, total, sources),
+                  file=sys.stderr)
+        if store is not None:
+            from .report.partial import partial_payload
+
+            store.write_partial(partial_payload(completed, total))
+
+    streaming = progress != "none" or store is not None
     try:
         # run_batch normalizes dicts, bare experiment names, and BatchJobs.
         result = run_batch(data, workers=args.workers,
@@ -258,7 +378,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                            plan_cache_dir=resolve_cache_dir(args.plan_cache),
                            execution=(
                                {"shards": args.shards} if args.shards else None
-                           ))
+                           ),
+                           checkpoint_dir=checkpoint_dir,
+                           resume=resume,
+                           on_item=on_item if streaming else None)
+    except SweepInterrupted as pause:
+        print("interrupted: %d of %d jobs finished%s"
+              % (len(pause.outcomes), pause.total,
+                 " and checkpointed" if checkpoint_dir else ""),
+              file=sys.stderr)
+        if checkpoint_dir:
+            print("resume with: repro resume %s --checkpoint %s"
+                  % (args.specs, checkpoint_dir), file=sys.stderr)
+        return 130
+    except SweepBroken as crash:
+        print("sweep broken: %s" % crash, file=sys.stderr)
+        if checkpoint_dir:
+            print("completed jobs are checkpointed; resume with: "
+                  "repro resume %s --checkpoint %s"
+                  % (args.specs, checkpoint_dir), file=sys.stderr)
+        return 3
     except TypeError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -269,30 +408,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as error:  # SpecError and config validation
         print(str(error), file=sys.stderr)
         return 2
-    stats = getattr(result, "plan_cache", None)
-    if stats and sum(stats.values()):
-        # Observability only, and to stderr: the JSON on stdout stays
-        # byte-identical whether or not the plan cache was warm.
+    failures = result.failures()
+    for item in failures:
+        error = item.error or {}
+        label = " [%s]" % item.label if item.label else ""
+        print("job %d failed (%s%s, spec %s): %s: %s"
+              % (item.index, item.experiment, label,
+                 error.get("spec_hash", "?")[:16],
+                 error.get("type", "Error"), error.get("message", "")),
+              file=sys.stderr)
+    _print_cache_stats(result)
+    checkpoint = getattr(result, "checkpoint", None)
+    if checkpoint:
         line = (
-            "scenario plan cache: %d plan hit(s) / %d miss(es), "
-            "%d network hit(s) / %d miss(es)"
-            % (stats.get("plan_hits", 0), stats.get("plan_misses", 0),
-               stats.get("network_hits", 0), stats.get("network_misses", 0))
+            "checkpoints: %d reused / %d computed / %d duplicate(s) in %s"
+            % (checkpoint["reused"], checkpoint["computed"],
+               checkpoint["duplicates"], checkpoint["directory"])
         )
-        disk_consults = sum(
-            stats.get(key, 0)
-            for key in ("disk_plan_hits", "disk_plan_misses",
-                        "disk_network_hits", "disk_network_misses")
-        )
-        if disk_consults:
-            line += (
-                "; disk: %d plan hit(s) / %d miss(es), "
-                "%d network hit(s) / %d miss(es)"
-                % (stats.get("disk_plan_hits", 0),
-                   stats.get("disk_plan_misses", 0),
-                   stats.get("disk_network_hits", 0),
-                   stats.get("disk_network_misses", 0))
-            )
+        orphans = checkpoint.get("orphans") or {}
+        if orphans:
+            line += "; re-ran %d orphaned job(s)" % len(orphans)
         print(line, file=sys.stderr)
     text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
     if args.out == "-":
@@ -301,23 +436,82 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
         print("wrote %s (%d jobs)" % (args.out, len(result.items)))
-    return 0
+    return 1 if failures else 0
 
 
-def _dry_run_batch(path: str, jobs: list, plan: bool = False) -> int:
+def _cmd_batch(args: argparse.Namespace) -> int:
+    data = _load_jobs(args.specs)
+    if data is None:
+        return 2
+    if args.dry_run or args.plan:
+        return _dry_run_batch(
+            args.specs, data, plan=args.plan, base_seed=args.base_seed,
+            execution={"shards": args.shards} if args.shards else None,
+        )
+    from .jobs.store import resolve_checkpoint_dir
+
+    return _run_sweep(args, data,
+                      checkpoint_dir=resolve_checkpoint_dir(args.checkpoint),
+                      resume=False)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .jobs.store import resolve_checkpoint_dir
+
+    directory = resolve_checkpoint_dir(args.checkpoint)
+    if not directory:
+        print("repro serve needs a checkpoint directory: pass "
+              "--checkpoint DIR or set REPRO_CHECKPOINT", file=sys.stderr)
+        return 2
+    data = _load_jobs(args.specs)
+    if data is None:
+        return 2
+    return _run_sweep(args, data, checkpoint_dir=directory, resume=False)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .jobs.store import resolve_checkpoint_dir
+
+    directory = resolve_checkpoint_dir(args.checkpoint)
+    if not directory:
+        print("repro resume needs a checkpoint directory: pass "
+              "--checkpoint DIR or set REPRO_CHECKPOINT", file=sys.stderr)
+        return 2
+    if not os.path.isdir(directory):
+        print("nothing to resume: checkpoint directory %s does not exist"
+              % directory, file=sys.stderr)
+        return 2
+    data = _load_jobs(args.specs)
+    if data is None:
+        return 2
+    return _run_sweep(args, data, checkpoint_dir=directory, resume=True)
+
+
+def _dry_run_batch(path: str, jobs: list, plan: bool = False,
+                   base_seed: Optional[int] = None,
+                   execution: Optional[dict] = None) -> int:
     """Validate every job of a batch file without running anything.
 
     Decoding a job exercises the full spec path — experiment lookup in
     the registry, field-name checking and type-driven reconstruction —
     so a passing dry run means ``repro batch`` will accept the file.
-    With *plan*, each valid job additionally reports its estimated cost
-    (``Experiment.estimate_cost``: cells and cells × hops) and the
-    sweep totals are printed, so big launches are predictable up front.
+    Execution knobs (``--shards``) are checked against each job's
+    target experiment: a knob the experiment's spec does not carry is a
+    validation error here instead of a silent no-op at run time.  Every
+    valid job reports its checkpoint key — computed from the same
+    seeded, encoded spec the runtime hashes (*base_seed* included), so
+    the printed keys match what ``repro serve`` will write under
+    ``results/``.  With *plan*, each valid job additionally reports its
+    estimated cost (``Experiment.estimate_cost``: cells and cells ×
+    hops) and the sweep totals are printed, so big launches are
+    predictable up front.
     """
-    # The same normalizer run_batch uses, so a dry-run verdict can
-    # never disagree with what the real run would accept.
+    # The same normalizer, seeding and keying run_batch uses, so a
+    # dry-run verdict (and key) can never disagree with the real run.
+    from .experiments.api import encode
     from .experiments.registry import get_experiment
-    from .experiments.runner import _normalize_job
+    from .experiments.runner import _normalize_job, _seeded
+    from .jobs.store import job_key
 
     errors = 0
     estimated = 0
@@ -337,6 +531,21 @@ def _dry_run_batch(path: str, jobs: list, plan: bool = False) -> int:
             errors += 1
             print("job %d: %s" % (index, error), file=sys.stderr)
             continue
+        if execution:
+            unsupported = sorted(
+                knob for knob in execution if not hasattr(spec, knob)
+            )
+            if unsupported:
+                errors += 1
+                print("job %d: %s (%s) does not support execution "
+                      "knob(s): %s"
+                      % (index, job.experiment, type(spec).__name__,
+                         ", ".join(unsupported)),
+                      file=sys.stderr)
+                continue
+        if base_seed is not None:
+            spec = _seeded(spec, base_seed, index, job.experiment)
+        key = job_key(job.experiment, encode(spec))
         label = " [%s]" % job.label if job.label else ""
         suffix = ""
         if plan:
@@ -362,8 +571,9 @@ def _dry_run_batch(path: str, jobs: list, plan: bool = False) -> int:
                     % (cost.get("circuits", 0), cost["cells"],
                        cost["cell_hops"], kinds, weighted)
                 )
-        print("job %d: %s %s%s ok%s"
-              % (index, job.experiment, type(spec).__name__, label, suffix))
+        print("job %d: %s %s%s ok%s  key=%s"
+              % (index, job.experiment, type(spec).__name__, label, suffix,
+                 key))
     if errors:
         print("%s: %d of %d jobs invalid" % (path, errors, len(jobs)),
               file=sys.stderr)
@@ -458,8 +668,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: enumerate interleavings, assert, replay."""
-    import os
-
     from .check import (
         CheckConfig,
         explore,
@@ -530,6 +738,8 @@ _BUILTIN_COMMANDS = {
     "check": _cmd_check,
     "list": _cmd_list,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "resume": _cmd_resume,
     "cache": _cmd_cache,
     "report": _cmd_report,
     # The scenario experiment's subcommand doubles as the parts

@@ -1,12 +1,24 @@
 """Batch sweeps over registered experiments.
 
 :func:`run_batch` executes a list of jobs — each naming a registered
-experiment plus a spec — either serially or across a multiprocessing
-pool, and merges the structured outputs into one serializable
-:class:`BatchResult`.  Parallel and serial execution take the same
-encode → run → encode path job by job, so given the simulator's
-determinism a ``workers=2`` sweep produces *byte-identical* structured
-output to a serial one.
+experiment plus a spec — and merges the structured outputs into one
+serializable :class:`BatchResult`.  It is a thin client of the
+resumable experiment service (:mod:`repro.jobs`): this module owns job
+normalization, per-job seeding and the input-order merge; keying,
+checkpoint reuse, work-stealing dispatch and streaming live in the
+service.  Serial and pooled execution take the same encode → run →
+encode path job by job, so given the simulator's determinism a
+``workers=2`` sweep produces *byte-identical* structured output to a
+serial one — and, with a ``checkpoint_dir``, so does a sweep killed at
+any point and resumed.
+
+Failure is captured per job: an exception inside an experiment becomes
+a structured :attr:`BatchItem.error` (type, message, experiment, spec
+hash, traceback) while every other job completes and checkpoints.
+Ctrl-C and worker death surface as
+:class:`~repro.jobs.dispatch.SweepInterrupted` /
+:class:`~repro.jobs.dispatch.SweepBroken`; with a checkpoint directory
+both mean "pause", not "loss".
 
 Seeding is deterministic: with ``base_seed`` given, every job whose
 spec carries a ``seed`` field gets a stable per-job seed derived via
@@ -28,11 +40,19 @@ states.
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from ..scenario.cache import DEFAULT_CACHE, DiskPlanCache, attached_disk_tier
+from ..jobs.service import execute_sweep
 from ..sim.rand import derive_seed
 from .api import Serializable, SpecError, encode
 from .registry import get_experiment
@@ -80,13 +100,26 @@ class BatchJob:
 
 @dataclass
 class BatchItem(Serializable):
-    """One job's merged record: inputs and structured output."""
+    """One job's merged record: inputs and structured output.
+
+    Exactly one of ``result`` and ``error`` is meaningful: a completed
+    job carries its encoded result and ``error is None``; a failed job
+    carries an empty ``result`` and a structured error record (type,
+    message, experiment, label, spec hash, traceback) instead of
+    aborting the sweep.
+    """
 
     index: int
     experiment: str
     label: Optional[str]
     spec: Dict[str, Any]
-    result: Dict[str, Any]
+    result: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this job ended in a captured per-job failure."""
+        return self.error is not None
 
     def spec_object(self) -> Any:
         """The spec decoded back into its experiment's spec type."""
@@ -94,6 +127,13 @@ class BatchItem(Serializable):
 
     def result_object(self) -> Any:
         """The result decoded back into its experiment's result type."""
+        if self.error is not None:
+            raise ValueError(
+                "job %d (%s) failed with %s: %s"
+                % (self.index, self.experiment,
+                   self.error.get("type", "Error"),
+                   self.error.get("message", ""))
+            )
         return get_experiment(self.experiment).result_type.from_dict(self.result)
 
 
@@ -117,6 +157,12 @@ class BatchResult(Serializable):
     def __post_init__(self) -> None:
         #: Aggregated plan-cache counters, set by :func:`run_batch`.
         self.plan_cache: Optional[Dict[str, int]] = None
+        #: Checkpoint/run-shape metadata (directory, reused/computed/
+        #: duplicate/failed counts), set by :func:`run_batch` when a
+        #: checkpoint directory is in play.  Run metadata like
+        #: :attr:`plan_cache`: never serialized, ``None`` after a JSON
+        #: round trip.
+        self.checkpoint: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -124,6 +170,10 @@ class BatchResult(Serializable):
     def by_experiment(self, name: str) -> List[BatchItem]:
         """All items produced by the experiment called *name*."""
         return [item for item in self.items if item.experiment == name]
+
+    def failures(self) -> List[BatchItem]:
+        """Every item that ended in a captured per-job error."""
+        return [item for item in self.items if item.error is not None]
 
 
 JobLike = Union[BatchJob, Tuple[str, Any], Dict[str, Any], str]
@@ -150,46 +200,26 @@ def _seeded(spec: Any, base_seed: int, index: int, experiment: str) -> Any:
     return spec
 
 
-def _attach_disk_tier(plan_cache_dir: Optional[str]) -> None:
-    """Point this process's default plan cache at a shared directory.
-
-    Runs as the multiprocessing pool initializer, so every batch worker
-    reads and publishes plans through one on-disk cache and a network
-    appearing in several workers' jobs is planned once across all of
-    them.
-    """
-    if plan_cache_dir:
-        DEFAULT_CACHE.disk = DiskPlanCache(plan_cache_dir)
-
-
-def _execute_payload(
-    payload: Tuple[str, Dict[str, Any], Optional[Dict[str, Any]]]
-) -> Tuple[Dict[str, Any], Dict[str, int]]:
-    """Worker entry point: decode the spec, run, encode the result.
-
-    Returns the encoded result plus the job's scenario plan-cache
-    hit/miss delta (all zeros for experiments that never plan).  Runs
-    in the pool processes too; importing this module pulls in the
-    :mod:`repro.experiments` package, which populates the registry, so
-    spawned workers are as self-sufficient as forked ones.
-
-    The optional third payload element carries *execution knobs* —
-    non-spec attributes (e.g. ``shards``) applied to the decoded spec
-    object.  They steer how a job runs, never what it computes, and
-    because the encoded spec (``BatchItem.spec``) is built before
-    decoding, they stay out of the structured output entirely.
-    """
-    name, spec_data, execution = payload
-    experiment = get_experiment(name)
-    spec = experiment.spec_type.from_dict(spec_data)
-    if execution:
-        for knob, value in execution.items():
-            object.__setattr__(spec, knob, value)
-    before = DEFAULT_CACHE.stats()
-    result = experiment.run(spec)
-    after = DEFAULT_CACHE.stats()
-    delta = {key: after[key] - before[key] for key in after}
-    return encode(result), delta
+def _batch_item(
+    job: BatchJob,
+    spec_data: Dict[str, Any],
+    outcome: Any,
+) -> BatchItem:
+    """Merge one terminal outcome with its job's inputs."""
+    error = outcome.error
+    if error is not None and job.label is not None:
+        # The worker does not know labels; enrich the record here so
+        # failure reports name the job the way the sweep file does.
+        error = dict(error)
+        error["label"] = job.label
+    return BatchItem(
+        index=outcome.index,
+        experiment=job.experiment,
+        label=job.label,
+        spec=spec_data,
+        result=outcome.result if outcome.result is not None else {},
+        error=error,
+    )
 
 
 def run_batch(
@@ -198,6 +228,9 @@ def run_batch(
     base_seed: Optional[int] = None,
     plan_cache_dir: Optional[str] = None,
     execution: Optional[Dict[str, Any]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    on_item: Optional[Callable[[BatchItem, int, int, str], None]] = None,
 ) -> BatchResult:
     """Run every job and merge the structured outputs, in input order.
 
@@ -209,8 +242,8 @@ def run_batch(
         (``{"experiment": ..., "spec": {...}}``).
     workers:
         ``None`` or ``1`` runs serially in-process; ``N > 1`` fans jobs
-        out over a ``multiprocessing`` pool of *N* workers.  Output is
-        identical either way.
+        out over a work-stealing process pool of *N* workers.  Output
+        is identical either way.
     base_seed:
         When given, every spec with a ``seed`` field is re-seeded
         deterministically per job (see module docstring).  ``None``
@@ -226,8 +259,27 @@ def run_batch(
         Execution knobs applied to every job's decoded spec as
         *non-field* attributes (e.g. ``{"shards": 4}`` for experiments
         with a sharded engine path).  Knobs change how jobs execute,
-        not their output — they never enter ``BatchItem.spec`` or any
-        serialized result.
+        not their output — they never enter ``BatchItem.spec``, any
+        serialized result, or the checkpoint keys.
+    checkpoint_dir:
+        When given, every completed job's result is checkpointed under
+        this directory as it finishes (:class:`repro.jobs.JobStore`),
+        already-checkpointed jobs are served from disk without
+        re-running, and identical jobs within the sweep execute once.
+        The merged output stays byte-identical with or without it, at
+        any worker count, and across kill/resume cycles.
+    resume:
+        Resume bookkeeping for an interrupted sweep: collects the
+        crashed run's orphaned lease records into
+        ``BatchResult.checkpoint["orphans"]``.  Execution semantics are
+        unchanged — resuming a cleanly finished sweep is an
+        all-checkpoint replay.
+    on_item:
+        Streaming hook, called as ``on_item(item, done, total, source)``
+        for every merged :class:`BatchItem` *in completion order*
+        (``source`` is ``"run"``, ``"checkpoint"`` or ``"duplicate"``),
+        so partial sweeps can render partial tables and JSON while
+        running.
     """
     normalized = [_normalize_job(job) for job in jobs]
     specs = [job.resolved_spec() for job in normalized]
@@ -236,38 +288,40 @@ def run_batch(
             _seeded(spec, base_seed, index, job.experiment)
             for index, (job, spec) in enumerate(zip(normalized, specs))
         ]
+    encoded = [encode(spec) for spec in specs]
     payloads = [
-        (job.experiment, encode(spec), execution)
-        for job, spec in zip(normalized, specs)
+        (job.experiment, spec_data, execution)
+        for job, spec_data in zip(normalized, encoded)
     ]
 
-    if workers is None or workers <= 1:
-        with attached_disk_tier(DEFAULT_CACHE, plan_cache_dir):
-            outputs = [_execute_payload(payload) for payload in payloads]
-    else:
-        with multiprocessing.Pool(
-            processes=workers,
-            initializer=_attach_disk_tier,
-            initargs=(plan_cache_dir,),
-        ) as pool:
-            outputs = pool.map(_execute_payload, payloads)
+    def handle_outcome(outcome: Any, done: int, total: int) -> None:
+        if on_item is not None:
+            item = _batch_item(
+                normalized[outcome.index], encoded[outcome.index], outcome
+            )
+            on_item(item, done, total, outcome.source)
+
+    report = execute_sweep(
+        payloads,
+        workers=workers,
+        plan_cache_dir=plan_cache_dir,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        on_outcome=handle_outcome if on_item is not None else None,
+    )
 
     items = [
-        BatchItem(
-            index=index,
-            experiment=job.experiment,
-            label=job.label,
-            spec=payload[1],
-            result=result,
-        )
-        for index, (job, payload, (result, __)) in enumerate(
-            zip(normalized, payloads, outputs)
-        )
+        _batch_item(normalized[outcome.index], encoded[outcome.index], outcome)
+        for outcome in report.outcomes
     ]
     batch = BatchResult(items=items)
     cache_totals: Dict[str, int] = {}
-    for __, delta in outputs:
-        for key, value in delta.items():
+    for outcome in report.outcomes:
+        for key, value in outcome.cache_delta.items():
             cache_totals[key] = cache_totals.get(key, 0) + value
     batch.plan_cache = cache_totals
+    if report.checkpoint_dir is not None:
+        batch.checkpoint = dict(report.counts())
+        batch.checkpoint["directory"] = report.checkpoint_dir
+        batch.checkpoint["orphans"] = report.orphans
     return batch

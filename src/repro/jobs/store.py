@@ -1,0 +1,369 @@
+"""Durable per-job checkpoints for experiment sweeps.
+
+A :class:`JobStore` is the persistence layer under the resumable sweep
+service (:mod:`repro.jobs.service`): every completed job's serialized
+result is checkpointed to disk *as it finishes*, keyed by a content
+hash of the job's identity — the experiment name plus the fully
+encoded (and, under ``base_seed``, per-index re-seeded) spec — so
+
+* a sweep killed at any point loses only its in-flight jobs: completed
+  ones are re-served from disk on resume, byte-for-byte;
+* re-submitting a sweep is idempotent — jobs whose key is already
+  checkpointed are never run again;
+* two identical jobs inside one sweep (or across concurrent sweeps
+  sharing a directory) resolve to one execution.
+
+The disk discipline is the one the scenario plan cache established
+(:mod:`repro.scenario.cache`), via the shared :mod:`repro.storage`
+helpers: envelope files with a format version and a writer
+fingerprint, atomic temp-file-and-rename publication so partially
+written checkpoints are never observed, and defensive reads where
+anything corrupt or foreign is a miss, never an error.
+
+Checkpoints written by *different simulator code* must not satisfy a
+resume — the resumed half of a sweep would silently disagree with the
+checkpointed half.  Every envelope therefore carries
+:func:`code_fingerprint`, a content hash over the entire ``repro``
+package source; entries from another commit are misses and their jobs
+re-run.
+
+Alongside the results, the store keeps per-job **lease records**: a
+worker writes a lease when it starts a job and removes it on
+completion, so a crashed sweep leaves behind exactly the leases of its
+in-flight jobs.  ``repro resume`` reports and re-leases these orphans;
+they carry pid/host/time for post-mortems but are never load-bearing —
+an un-checkpointed job is re-run whether or not its lease survived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from ..storage import (
+    content_hash,
+    read_envelope,
+    sweep_stale_files,
+    write_envelope,
+)
+
+__all__ = [
+    "CHECKPOINT_ENV_VAR",
+    "JobStore",
+    "code_fingerprint",
+    "job_key",
+    "resolve_checkpoint_dir",
+]
+
+#: Environment variable naming the default sweep-checkpoint directory.
+CHECKPOINT_ENV_VAR = "REPRO_CHECKPOINT"
+
+
+def resolve_checkpoint_dir(explicit: Optional[str] = None) -> Optional[str]:
+    """The checkpoint directory to use: *explicit*, else the environment.
+
+    Returns ``None`` when neither a directory argument nor a non-empty
+    :data:`CHECKPOINT_ENV_VAR` is present (checkpointing stays off).
+    """
+    if explicit:
+        return explicit
+    value = os.environ.get(CHECKPOINT_ENV_VAR, "").strip()
+    return value or None
+
+
+def job_key(experiment: str, spec_data: Dict[str, Any]) -> str:
+    """The checkpoint key of one job: a content hash of its identity.
+
+    *spec_data* is the job's fully encoded spec — after
+    ``run_batch``-style per-index re-seeding, so when a ``base_seed``
+    is in play the base-seed index enters the key through the derived
+    ``seed`` field.  Execution knobs (worker counts, ``--shards``)
+    deliberately stay out: they change how a job runs, never what it
+    computes, so a sweep checkpointed at one knob setting resumes
+    correctly at any other.
+
+    The hash is canonical-JSON based (:func:`repro.storage
+    .content_hash`), so it survives encode/decode round trips and field
+    reordering — the stability the spec-hash tests pin.
+    """
+    return content_hash({"experiment": experiment, "spec": spec_data})
+
+
+_code_fingerprint_memo: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of the whole ``repro`` package, once per process.
+
+    The job-store analogue of the plan cache's planner fingerprint —
+    but a job's result can depend on *any* module (engine, transport,
+    scenario parts, experiment harnesses), so the honest guard hashes
+    every ``.py`` file under the package.  Checkpoint directories
+    outlive commits (CI caches, long-lived ``REPRO_CHECKPOINT``
+    directories); entries stamped by different code are misses, so a
+    resume never merges results two versions of the simulator disagree
+    on.  Unreadable sources degrade toward fewer cross-version hits,
+    never toward stale answers.
+    """
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is None:
+        package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for root, dirs, names in sorted(os.walk(package_dir)):
+            dirs.sort()
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_dir).encode("utf-8"))
+                try:
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+                except OSError:
+                    pass
+        _code_fingerprint_memo = digest.hexdigest()
+    return _code_fingerprint_memo
+
+
+class JobStore:
+    """Checkpointed job results (and leases) under one directory.
+
+    Layout::
+
+        <directory>/results/<job-key>.json   # completed-job envelopes
+        <directory>/leases/<job-key>.json    # in-flight lease records
+        <directory>/partial.json             # streaming sweep snapshot
+
+    Every result file wraps ``{"experiment", "spec", "result"}`` in the
+    shared envelope format (version, kind, key, code fingerprint);
+    reads reject anything stale, misplaced or written by different
+    simulator code.  All writes are atomic, so concurrent workers —
+    including workers of *separate* sweeps sharing the directory —
+    cannot corrupt each other: racers on one key write the same
+    deterministic bytes and the last rename wins.
+    """
+
+    #: Bump when the checkpoint envelope or payload changes shape.
+    FORMAT_VERSION = 1
+
+    def __init__(self, directory: str, lease_timeout: float = 3600.0) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(
+                "lease_timeout must be positive, got %r" % lease_timeout
+            )
+        self.directory = os.path.abspath(directory)
+        self.lease_timeout = lease_timeout
+
+    # --- paths ------------------------------------------------------------
+
+    def _results_dir(self) -> str:
+        return os.path.join(self.directory, "results")
+
+    def _leases_dir(self) -> str:
+        return os.path.join(self.directory, "leases")
+
+    def _result_path(self, key: str) -> str:
+        return os.path.join(self._results_dir(), key + ".json")
+
+    def _lease_path(self, key: str) -> str:
+        return os.path.join(self._leases_dir(), key + ".json")
+
+    def partial_path(self) -> str:
+        """Where the streaming sweep snapshot lands."""
+        return os.path.join(self.directory, "partial.json")
+
+    # --- checkpoints ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The checkpointed payload for *key*, or ``None``.
+
+        The payload is ``{"experiment", "spec", "result"}`` exactly as
+        :meth:`put` stored it.  Beyond the envelope checks, the payload
+        must hash back to its own key — a checkpoint whose content
+        drifted from its name (partial copy, manual restore) would
+        otherwise be merged into the wrong job.
+        """
+        data = read_envelope(self._result_path(key), expect={
+            "format": self.FORMAT_VERSION,
+            "kind": "job",
+            "key": key,
+            "code": code_fingerprint(),
+        })
+        if data is None:
+            return None
+        payload = data.get("payload")
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        if job_key(payload.get("experiment"), payload.get("spec")) != key:
+            return None
+        return payload
+
+    def put(
+        self,
+        key: str,
+        experiment: str,
+        spec_data: Dict[str, Any],
+        result_data: Dict[str, Any],
+    ) -> bool:
+        """Checkpoint one completed job atomically; ``True`` on success.
+
+        Failures (unwritable directory) degrade to ``False`` — the
+        sweep keeps running, it just loses durability for this job.
+        """
+        written = write_envelope(self._result_path(key), {
+            "format": self.FORMAT_VERSION,
+            "kind": "job",
+            "key": key,
+            "code": code_fingerprint(),
+            "payload": {
+                "experiment": experiment,
+                "spec": spec_data,
+                "result": result_data,
+            },
+        })
+        return written is not None
+
+    def keys(self) -> List[str]:
+        """Every checkpointed job key currently on disk (sorted)."""
+        try:
+            names = os.listdir(self._results_dir())
+        except OSError:
+            return []
+        return sorted(
+            name[:-len(".json")] for name in names if name.endswith(".json")
+        )
+
+    # --- leases -----------------------------------------------------------
+
+    def lease(self, key: str, experiment: str, index: int) -> None:
+        """Record that a worker is now running the job *key*.
+
+        Purely observability for crash forensics and ``repro resume``
+        reporting: leases are plain overwriting records, not mutual
+        exclusion — two sweeps racing on one key both run the (
+        deterministic) job and publish identical checkpoints.
+        """
+        write_envelope(self._lease_path(key), {
+            "format": self.FORMAT_VERSION,
+            "kind": "lease",
+            "key": key,
+            "experiment": experiment,
+            "index": index,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "time": time.time(),
+        })
+
+    def release(self, key: str) -> None:
+        """Drop the lease for *key* (the job completed or failed cleanly)."""
+        try:
+            os.unlink(self._lease_path(key))
+        except OSError:
+            pass
+
+    def orphaned_leases(self) -> Dict[str, Dict[str, Any]]:
+        """Leases whose job never checkpointed: the crash's in-flight set.
+
+        Keyed by job key; each record carries the pid/host/time the
+        original worker stamped.  ``repro resume`` reports these and
+        re-leases them (the re-run worker overwrites the record).
+        """
+        try:
+            names = os.listdir(self._leases_dir())
+        except OSError:
+            return {}
+        checkpointed = set(self.keys())
+        orphans: Dict[str, Dict[str, Any]] = {}
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            key = name[:-len(".json")]
+            if key in checkpointed:
+                # The worker died between publishing the result and
+                # unlinking its lease: the job is done, not orphaned.
+                self.release(key)
+                continue
+            data = read_envelope(os.path.join(self._leases_dir(), name), expect={
+                "format": self.FORMAT_VERSION,
+                "kind": "lease",
+                "key": key,
+            })
+            if data is not None:
+                orphans[key] = {
+                    field: data.get(field)
+                    for field in ("experiment", "index", "pid", "host", "time")
+                }
+        return orphans
+
+    # --- streaming snapshot ----------------------------------------------
+
+    def write_partial(self, payload: Dict[str, Any]) -> None:
+        """Atomically publish the streaming sweep snapshot.
+
+        *payload* is whatever the aggregation layer considers the
+        partial view (done/total counts plus the completed items);
+        readers polling ``partial.json`` always see a complete
+        document.
+        """
+        write_envelope(self.partial_path(), {
+            "format": self.FORMAT_VERSION,
+            "kind": "partial",
+            "payload": payload,
+        })
+
+    def read_partial(self) -> Optional[Dict[str, Any]]:
+        """The last streaming snapshot, or ``None``."""
+        data = read_envelope(self.partial_path(), expect={
+            "format": self.FORMAT_VERSION,
+            "kind": "partial",
+        })
+        if data is None:
+            return None
+        payload = data.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    # --- bookkeeping ------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        """Directory summary (``repro serve``/``resume`` reporting)."""
+        return {
+            "directory": self.directory,
+            "format_version": self.FORMAT_VERSION,
+            "checkpoints": len(self.keys()),
+            "orphaned_leases": len(self.orphaned_leases()),
+        }
+
+    def sweep_scratch(self) -> None:
+        """Janitor pass: drop temp files orphaned by killed writers."""
+        for directory in (self._results_dir(), self._leases_dir()):
+            sweep_stale_files(directory, (".tmp",), older_than=60.0)
+
+    def clear(self) -> int:
+        """Delete every checkpoint, lease and snapshot; checkpoints removed."""
+        removed = 0
+        for directory in (self._results_dir(), self._leases_dir()):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                path = os.path.join(directory, name)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                if directory == self._results_dir() and name.endswith(".json"):
+                    removed += 1
+        try:
+            os.unlink(self.partial_path())
+        except OSError:
+            pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<JobStore dir=%r checkpoints=%d>" % (
+            self.directory, len(self.keys())
+        )

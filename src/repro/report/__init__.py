@@ -1,4 +1,4 @@
-"""Reporting: ASCII figures, aligned tables and CSV export."""
+"""Reporting: ASCII figures, aligned tables, CSV export, partial sweeps."""
 
 from .ascii import (
     render_cdf_pair,
@@ -6,14 +6,17 @@ from .ascii import (
     render_series,
     render_trace,
 )
+from .partial import partial_payload, render_partial_table
 from .summary import generate_report
 from .tables import format_table, rows_to_csv_text, write_csv
 
 __all__ = [
     "format_table",
     "generate_report",
+    "partial_payload",
     "render_cdf_pair",
     "render_improvement_vs_utilization",
+    "render_partial_table",
     "render_series",
     "render_trace",
     "rows_to_csv_text",

@@ -1,0 +1,86 @@
+"""Streaming views of a partially completed sweep.
+
+The aggregation side of the resumable sweep service: as jobs finish
+(in completion order), the completed :class:`~repro.experiments.runner
+.BatchItem` records accumulate, and these helpers render the partial
+view — a plain-text table for terminals and a JSON snapshot for
+pollers — without waiting for the sweep to end.
+
+Both views are pure functions of the completed items plus the total,
+so they are as deterministic as the sweep itself; the JSON snapshot is
+exactly the merged-so-far slice of the final ``BatchResult`` plus
+``done``/``total``/``failed`` counters, which makes "watch a sweep" a
+matter of re-reading one atomic file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from .tables import format_table
+
+__all__ = ["partial_payload", "render_partial_table"]
+
+
+def _ordered(items: Iterable[Any]) -> List[Any]:
+    return sorted(items, key=lambda item: item.index)
+
+
+def partial_payload(items: Iterable[Any], total: int) -> Dict[str, Any]:
+    """The JSON snapshot of a sweep in flight.
+
+    ``items`` is every completed :class:`BatchItem` so far, any order;
+    the snapshot lists them in input order, exactly as the final merge
+    will, so a consumer of ``partial.json`` never has to reconcile two
+    formats.
+    """
+    ordered = _ordered(items)
+    return {
+        "done": len(ordered),
+        "total": total,
+        "failed": sum(1 for item in ordered if item.error is not None),
+        "items": [item.to_dict() for item in ordered],
+    }
+
+
+def _status(item: Any, source: Optional[str]) -> str:
+    if item.error is not None:
+        return "error: %s" % item.error.get("type", "Error")
+    if source == "checkpoint":
+        return "ok (checkpoint)"
+    if source == "duplicate":
+        return "ok (duplicate)"
+    return "ok"
+
+
+def render_partial_table(
+    items: Iterable[Any],
+    total: int,
+    sources: Optional[Mapping[int, str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """An aligned table of a sweep's completed jobs, plus the tail count.
+
+    *sources* optionally maps item index → how the result was obtained
+    (``"run"``/``"checkpoint"``/``"duplicate"``), so a resumed sweep's
+    table shows what was replayed versus re-run.
+    """
+    ordered = _ordered(items)
+    rows = [
+        [
+            item.index,
+            item.experiment,
+            item.label or "-",
+            _status(item, sources.get(item.index) if sources else None),
+        ]
+        for item in ordered
+    ]
+    table = format_table(
+        ["job", "experiment", "label", "status"],
+        rows,
+        title=title or "sweep progress (%d/%d)" % (len(ordered), total),
+    )
+    pending = total - len(ordered)
+    if pending:
+        table += "\n(%d job%s pending)" % (pending, "" if pending == 1 else "s")
+    return table

@@ -41,8 +41,6 @@ show what the cache saved.
 from __future__ import annotations
 
 import hashlib
-import itertools
-import json
 import os
 import time
 from collections import OrderedDict
@@ -50,6 +48,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from ..serialize import decode, encode
+from ..storage import OwnerLocks, content_hash, read_envelope, write_envelope
 
 __all__ = [
     "DEFAULT_CACHE",
@@ -135,14 +134,11 @@ def planner_fingerprint() -> str:
 def spec_hash(payload: Any) -> str:
     """Stable content hash of any :func:`~repro.serialize.encode`-able value.
 
-    Canonical JSON (sorted keys, no whitespace) through SHA-256, so the
-    hash is stable across processes and interpreter runs — any field
-    change, however deep, changes the hash.
+    The historical name for :func:`repro.storage.content_hash`, kept
+    because every cache key and checkpoint key in the repository is
+    phrased in terms of it.
     """
-    canonical = json.dumps(
-        encode(payload), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return content_hash(payload)
 
 
 class DiskPlanCache:
@@ -199,9 +195,9 @@ class DiskPlanCache:
         #: cap is enforced approximately — eviction happens on the next
         #: put whose estimate crosses it, not at the exact byte.
         self._approx_total: Optional[int] = None
-        #: Tokens of the lock files this instance currently holds.
-        self._lock_tokens: Dict[Tuple[str, str], str] = {}
-        self._token_counter = itertools.count()
+        #: The lock files this instance currently holds (owner-token
+        #: discipline lives in :class:`repro.storage.OwnerLocks`).
+        self._locks = OwnerLocks(lock_timeout)
 
     # --- paths ------------------------------------------------------------
 
@@ -235,23 +231,18 @@ class DiskPlanCache:
     def _load(self, kind: str, key: str) -> Optional[Any]:
         """Read and decode one entry; ``None`` on any defect (no counters)."""
         path = self._entry_path(kind, key)
-        try:
-            with open(path, "r") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        if (
-            not isinstance(data, dict)
-            or data.get("format") != self.FORMAT_VERSION
-            or data.get("kind") != kind
+        data = read_envelope(path, expect={
+            "format": self.FORMAT_VERSION,
+            "kind": kind,
             # A renamed/copied entry (partial rsync, manual restore)
             # would otherwise be served under the wrong key — for
             # network entries this is the only payload-to-key check.
-            or data.get("key") != key
+            "key": key,
             # Entries written by different planner code are stale even
             # when the layout matches (see planner_fingerprint).
-            or data.get("planner") != planner_fingerprint()
-        ):
+            "planner": planner_fingerprint(),
+        })
+        if data is None:
             return None
         value = self._decode(kind, key, data.get("payload"))
         if value is None:
@@ -294,33 +285,23 @@ class DiskPlanCache:
         self._put("network", key, network)
 
     def _put(self, kind: str, key: str, value: Any) -> None:
-        path = self._entry_path(kind, key)
-        tmp = "%s.%d.tmp" % (path, os.getpid())
         try:
-            os.makedirs(self._kind_dir(kind), exist_ok=True)
-            blob = json.dumps(
-                {
-                    "format": self.FORMAT_VERSION,
-                    "kind": kind,
-                    "key": key,
-                    "planner": planner_fingerprint(),
-                    "payload": encode(value),
-                },
-                separators=(",", ":"),
-            )
-            with open(tmp, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
-            # Unwritable directory (or an unencodable value): the disk
-            # tier degrades to a no-op, the in-memory tiers still work.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            payload = encode(value)
+        except TypeError:
+            return  # unencodable value: the in-memory tiers still work
+        written = write_envelope(self._entry_path(kind, key), {
+            "format": self.FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "planner": planner_fingerprint(),
+            "payload": payload,
+        })
+        if written is None:
+            # Unwritable directory: the disk tier degrades to a no-op,
+            # the in-memory tiers still work.
             return
         if self._approx_total is not None:
-            self._approx_total += len(blob)
+            self._approx_total += written
         if self._approx_total is None or self._approx_total > self.max_bytes:
             # Full directory scans are O(entries); only pay for one
             # when the running estimate says the cap may be crossed
@@ -398,41 +379,11 @@ class DiskPlanCache:
         would have finished or its waiters given up) and are broken —
         so a planning pass slower than ``lock_timeout`` degrades to
         redundant (still deterministic, still correct) planning, never
-        to a wrong answer.  Each lock carries an owner token so
-        :meth:`release` cannot unlink a lock broken and re-taken by
-        someone else.
+        to a wrong answer.  The owner-token discipline — release never
+        unlinks a lock broken and re-taken by someone else — lives in
+        :class:`repro.storage.OwnerLocks`.
         """
-        lock = self._lock_path(kind, key)
-        # pid + instance id + counter: unique across processes AND
-        # across cache instances within one process.
-        token = "%d:%d:%d" % (
-            os.getpid(), id(self), next(self._token_counter)
-        )
-        try:
-            os.makedirs(self._kind_dir(kind), exist_ok=True)
-            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            try:
-                age = time.time() - os.stat(lock).st_mtime
-            except OSError:
-                return False  # holder released between open and stat
-            if age <= self.lock_timeout:
-                return False
-            try:
-                os.unlink(lock)  # stale: its writer is gone
-                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except OSError:
-                return False
-        except OSError:
-            return True  # cannot lock here: plan (possibly redundantly)
-        try:
-            os.write(fd, token.encode("ascii"))
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
-        self._lock_tokens[(kind, key)] = token
-        return True
+        return self._locks.acquire(self._lock_path(kind, key))
 
     def release(self, kind: str, key: str) -> None:
         """Unlink the lock for *key* — only if this instance still owns it.
@@ -444,20 +395,7 @@ class DiskPlanCache:
         atomic, but losing that tiny race only costs redundant
         planning).
         """
-        token = self._lock_tokens.pop((kind, key), None)
-        if token is None:
-            return  # nothing acquired (unwritable directory)
-        lock = self._lock_path(kind, key)
-        try:
-            with open(lock, "r") as handle:
-                current = handle.read()
-        except OSError:
-            return
-        if current == token:
-            try:
-                os.unlink(lock)
-            except OSError:
-                pass
+        self._locks.release(self._lock_path(kind, key))
 
     def recheck(self, kind: str, key: str) -> Optional[Any]:
         """Re-read an entry after winning the lock (double-checked locking).

@@ -1,0 +1,220 @@
+"""Shared on-disk envelope, atomic-write and lock-file machinery.
+
+Two subsystems persist content-addressed JSON entries under a shared
+directory: the scenario plan cache (:mod:`repro.scenario.cache`) and
+the experiment job store (:mod:`repro.jobs.store`).  Both need the same
+three disciplines, extracted here so they cannot drift apart:
+
+* **envelopes** — every entry file wraps its payload in a dict carrying
+  a format version, a kind, its own key and a writer fingerprint, so a
+  reader can reject stale layouts, misplaced files and entries written
+  by different code *before* trusting the payload;
+* **atomic writes** — entries land via a per-process temp file renamed
+  into place, so concurrent readers only ever observe complete entries
+  (two processes racing on one key write the same deterministic bytes
+  and the last rename wins);
+* **owner-token lock files** — cross-process mutual exclusion with
+  stale-lock breaking: each lock file records a token unique to its
+  creator, so releasing cannot unlink a lock that was broken and
+  re-taken by someone else, and locks older than a timeout are treated
+  as abandoned by protocol.
+
+Everything here degrades safely: writes to an unusable directory are
+no-ops, reads of corrupt or foreign files are misses, and lock
+acquisition on an unwritable directory falls back to "go ahead"
+(redundant work is deterministic work, never a wrong answer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from .serialize import encode
+
+__all__ = [
+    "OwnerLocks",
+    "content_hash",
+    "read_envelope",
+    "sweep_stale_files",
+    "write_envelope",
+]
+
+
+def content_hash(payload: Any) -> str:
+    """Stable content hash of any :func:`~repro.serialize.encode`-able value.
+
+    Canonical JSON (sorted keys, no whitespace) through SHA-256, so the
+    hash is stable across processes, interpreter runs and dict
+    insertion orders — any field change, however deep, changes the
+    hash.
+    """
+    canonical = json.dumps(
+        encode(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_envelope(path: str, envelope: Dict[str, Any]) -> Optional[int]:
+    """Atomically publish *envelope* as compact JSON at *path*.
+
+    The blob goes through a per-process temp file renamed into place,
+    so a reader never observes a partially written entry.  Returns the
+    published byte length, or ``None`` when the directory is unusable
+    or the envelope unencodable — persistence degrades to a no-op, it
+    never raises.
+    """
+    tmp = "%s.%d.tmp" % (path, os.getpid())
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = json.dumps(envelope, separators=(",", ":"))
+        with open(tmp, "w") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except (OSError, TypeError, ValueError):
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return len(blob)
+
+
+def read_envelope(
+    path: str, expect: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Read the envelope at *path*, or ``None`` on any defect.
+
+    Every item of *expect* must match the stored envelope exactly —
+    format version, kind, key, writer fingerprint — otherwise the file
+    is stale, misplaced or foreign and reading it would serve a wrong
+    answer under a right-looking name.  Unreadable or undecodable files
+    are misses, never errors.
+    """
+    try:
+        with open(path, "r") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    for field, value in expect.items():
+        if data.get(field) != value:
+            return None
+    return data
+
+
+class OwnerLocks:
+    """Per-key lock files with owner tokens and stale-lock breaking.
+
+    One instance tracks every lock its owner currently holds, keyed by
+    lock-file path.  :meth:`acquire` creates the lock file exclusively
+    and records a token unique across processes *and* across instances
+    within one process; :meth:`release` unlinks the file only while the
+    token still matches, so a racer that judged our lock stale, broke
+    it and took its own cannot have its *live* lock freed from under
+    it.  Locks untouched for longer than *timeout* are abandoned by
+    protocol (their writer finished or died) and are broken on the next
+    acquisition attempt.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive, got %r" % timeout)
+        self.timeout = timeout
+        self._tokens: Dict[str, str] = {}
+        self._counter = itertools.count()
+
+    def acquire(self, path: str) -> bool:
+        """Try to take the lock at *path*.
+
+        ``True`` means "go ahead" — either the lock file was created,
+        or locking is impossible here (unwritable directory), in which
+        case proceeding redundantly is the safe fallback.  ``False``
+        means another live owner holds the lock.
+        """
+        # pid + instance id + counter: unique across processes AND
+        # across lock sets within one process.
+        token = "%d:%d:%d" % (os.getpid(), id(self), next(self._counter))
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - os.stat(path).st_mtime
+            except OSError:
+                return False  # holder released between open and stat
+            if age <= self.timeout:
+                return False
+            try:
+                os.unlink(path)  # stale: its writer is gone
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                return False
+        except OSError:
+            return True  # cannot lock here: proceed (possibly redundantly)
+        try:
+            os.write(fd, token.encode("ascii"))
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+        self._tokens[path] = token
+        return True
+
+    def release(self, path: str) -> None:
+        """Unlink the lock at *path* — only if this instance still owns it.
+
+        Best-effort: the read/unlink pair is not atomic, but losing
+        that tiny race only costs redundant work by the next acquirer,
+        never a wrong answer.
+        """
+        token = self._tokens.pop(path, None)
+        if token is None:
+            return  # nothing acquired (unwritable directory)
+        try:
+            with open(path, "r") as handle:
+                current = handle.read()
+        except OSError:
+            return
+        if current == token:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def holder_token(self, path: str) -> Optional[str]:
+        """The token this instance holds for *path*, if any."""
+        return self._tokens.get(path)
+
+
+def sweep_stale_files(
+    directory: str, suffixes: Tuple[str, ...], older_than: float
+) -> None:
+    """Remove protocol-dead scratch files (``.tmp``/``.lock``) in *directory*.
+
+    Temp files orphaned by a killed writer and lock files abandoned by
+    a crashed owner would otherwise accumulate forever in a shared
+    directory; anything matching *suffixes* untouched for longer than
+    *older_than* seconds is dead by protocol — a live writer renames
+    within milliseconds, a live lock is honoured for at most its
+    timeout — and is unlinked here.
+    """
+    now = time.time()
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if not name.endswith(suffixes):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if now - os.stat(path).st_mtime > older_than:
+                os.unlink(path)
+        except OSError:
+            continue

@@ -1,0 +1,131 @@
+"""CLI tests for ``repro serve`` / ``repro resume`` and dry-run keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import _sweep_exps
+from repro.cli import main
+from repro.experiments import encode
+from repro.jobs import JobStore, job_key
+
+
+@pytest.fixture(autouse=True)
+def probe_experiments():
+    _sweep_exps.install()
+    yield
+    _sweep_exps.uninstall()
+
+
+def _write_specs(tmp_path, jobs, name="specs.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(jobs))
+    return str(path)
+
+
+FLAKY_JOBS = [
+    {"experiment": "test-flaky", "label": "a", "spec": {"value": 1}},
+    {"experiment": "test-flaky", "label": "b", "spec": {"value": 2}},
+]
+
+
+def test_serve_requires_a_checkpoint_directory(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CHECKPOINT", raising=False)
+    path = _write_specs(tmp_path, FLAKY_JOBS)
+    assert main(["serve", path]) == 2
+    assert "--checkpoint DIR or set REPRO_CHECKPOINT" in capsys.readouterr().err
+
+
+def test_resume_requires_an_existing_directory(tmp_path, capsys):
+    path = _write_specs(tmp_path, FLAKY_JOBS)
+    code = main(["resume", path, "--checkpoint", str(tmp_path / "missing")])
+    assert code == 2
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_serve_then_resume_byte_identical_with_partial_snapshot(
+        tmp_path, capsys):
+    path = _write_specs(tmp_path, FLAKY_JOBS)
+    ckpt = str(tmp_path / "ckpt")
+    served = str(tmp_path / "served.json")
+    resumed = str(tmp_path / "resumed.json")
+    plain = str(tmp_path / "plain.json")
+
+    assert main(["serve", path, "--checkpoint", ckpt, "--out", served]) == 0
+    err = capsys.readouterr().err
+    assert "[1/2]" in err and "[2/2]" in err  # progress streamed
+    assert "0 reused / 2 computed" in err
+
+    # The streaming snapshot is complete and input-ordered.
+    partial = JobStore(ckpt).read_partial()
+    assert partial["done"] == 2 and partial["total"] == 2
+    assert [item["label"] for item in partial["items"]] == ["a", "b"]
+
+    assert main(["resume", path, "--checkpoint", ckpt, "--out", resumed]) == 0
+    assert "2 reused / 0 computed" in capsys.readouterr().err
+    assert main(["batch", path, "--out", plain]) == 0
+    served_text = open(served).read()
+    assert served_text == open(resumed).read()
+    assert served_text == open(plain).read()
+
+
+def test_batch_reports_failures_and_exits_1(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "test-flaky", "label": "ok", "spec": {"value": 1}},
+        {"experiment": "test-flaky", "label": "boom",
+         "spec": {"value": 2, "fail": True}},
+    ])
+    out = str(tmp_path / "out.json")
+    assert main(["batch", path, "--out", out]) == 1
+    captured = capsys.readouterr()
+    assert "job 1 failed (test-flaky [boom], spec " in captured.err
+    assert "ValueError: flaky job told to fail" in captured.err
+    merged = json.load(open(out))
+    assert merged["items"][0]["error"] is None
+    assert merged["items"][1]["error"]["type"] == "ValueError"
+
+
+def test_dry_run_reports_runtime_matching_keys(tmp_path, capsys):
+    path = _write_specs(tmp_path, FLAKY_JOBS)
+    assert main(["batch", path, "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    for job in FLAKY_JOBS:
+        spec = _sweep_exps.FlakySpec.from_dict(job["spec"])
+        expected = job_key(job["experiment"], encode(spec))
+        assert "key=%s" % expected in out
+    # ... and those keys are exactly the checkpoint filenames a serve
+    # of the same file produces.
+    ckpt = str(tmp_path / "ckpt")
+    assert main(["serve", path, "--checkpoint", ckpt,
+                 "--progress", "none"]) == 0
+    capsys.readouterr()
+    stored = set(JobStore(ckpt).keys())
+    for job in FLAKY_JOBS:
+        spec = _sweep_exps.FlakySpec.from_dict(job["spec"])
+        assert job_key(job["experiment"], encode(spec)) in stored
+
+
+def test_dry_run_rejects_unsupported_execution_knobs(tmp_path, capsys):
+    path = _write_specs(tmp_path, [
+        {"experiment": "optimal"},
+        {"experiment": "netscale", "spec": {"circuit_count": 5}},
+    ])
+    assert main(["batch", path, "--dry-run", "--shards", "4"]) == 2
+    captured = capsys.readouterr()
+    assert ("optimal (OptimalConfig) does not support execution knob(s): "
+            "shards") in captured.err
+    assert "job 1: netscale" in captured.out  # netscale has the knob
+    assert "1 of 2 jobs invalid" in captured.err
+
+
+def test_dry_run_keys_include_base_seed(tmp_path, capsys):
+    jobs = [{"experiment": "test-fuse", "spec": {"value": 1}}]
+    path = _write_specs(tmp_path, jobs)
+    assert main(["batch", path, "--dry-run"]) == 0
+    unseeded = capsys.readouterr().out
+    assert main(["batch", path, "--dry-run", "--base-seed", "9"]) == 0
+    seeded = capsys.readouterr().out
+    key_of = lambda text: text.split("key=")[1].split()[0]  # noqa: E731
+    assert key_of(unseeded) != key_of(seeded)

@@ -1,0 +1,197 @@
+"""Tests for the sweep checkpoint store: keys, envelopes, leases."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import TraceConfig, encode
+from repro.jobs.store import (
+    CHECKPOINT_ENV_VAR,
+    JobStore,
+    code_fingerprint,
+    job_key,
+    resolve_checkpoint_dir,
+)
+from repro.storage import write_envelope
+from repro.units import milliseconds
+
+
+# ----------------------------------------------------------------------
+# Key stability (what makes checkpoints safe to reuse)
+# ----------------------------------------------------------------------
+
+
+def test_job_key_ignores_field_order():
+    forward = {"duration": 0.15, "relay_count": 4, "payload_bytes": 1024}
+    backward = {"payload_bytes": 1024, "relay_count": 4, "duration": 0.15}
+    assert job_key("trace", forward) == job_key("trace", backward)
+
+
+def test_job_key_survives_encode_round_trip():
+    spec = TraceConfig(duration=milliseconds(150.0), relay_count=3)
+    first = encode(spec)
+    # Through JSON text and back through the typed spec: both the
+    # serialization that lands in a sweep file and the reconstruction
+    # run_batch performs must map to the same checkpoint key.
+    via_json = json.loads(json.dumps(first))
+    via_spec = encode(TraceConfig.from_dict(via_json))
+    assert job_key("trace", first) == job_key("trace", via_json)
+    assert job_key("trace", first) == job_key("trace", via_spec)
+
+
+def test_job_key_separates_experiments_and_specs():
+    spec = encode(TraceConfig(duration=milliseconds(150.0)))
+    other = encode(TraceConfig(duration=milliseconds(200.0)))
+    assert job_key("trace", spec) != job_key("cdf", spec)
+    assert job_key("trace", spec) != job_key("trace", other)
+
+
+def test_code_fingerprint_is_a_stable_digest():
+    first = code_fingerprint()
+    assert len(first) == 64
+    int(first, 16)  # hex digest
+    assert code_fingerprint() == first  # memoized, stable in-process
+
+
+# ----------------------------------------------------------------------
+# Checkpoint round trips and defensive reads
+# ----------------------------------------------------------------------
+
+
+def _put_one(store, experiment="trace", value=1):
+    spec_data = {"value": value}
+    key = job_key(experiment, spec_data)
+    assert store.put(key, experiment, spec_data, {"answer": value * 2})
+    return key
+
+
+def test_put_get_round_trip(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    key = _put_one(store, value=3)
+    payload = store.get(key)
+    assert payload == {
+        "experiment": "trace",
+        "spec": {"value": 3},
+        "result": {"answer": 6},
+    }
+    assert store.keys() == [key]
+    assert store.get("0" * 64) is None
+
+
+def test_corrupt_checkpoint_is_a_miss(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    key = _put_one(store)
+    with open(store._result_path(key), "w") as handle:
+        handle.write("{not json")
+    assert store.get(key) is None
+
+
+def test_checkpoint_from_other_code_is_a_miss(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    spec_data = {"value": 9}
+    key = job_key("trace", spec_data)
+    write_envelope(store._result_path(key), {
+        "format": JobStore.FORMAT_VERSION,
+        "kind": "job",
+        "key": key,
+        "code": "0" * 64,  # stamped by a different simulator version
+        "payload": {"experiment": "trace", "spec": spec_data,
+                    "result": {"answer": 18}},
+    })
+    assert store.get(key) is None
+
+
+def test_checkpoint_whose_payload_drifted_is_a_miss(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    spec_data = {"value": 9}
+    key = job_key("trace", spec_data)
+    write_envelope(store._result_path(key), {
+        "format": JobStore.FORMAT_VERSION,
+        "kind": "job",
+        "key": key,
+        "code": code_fingerprint(),
+        # The payload no longer hashes to the file's key: a manual
+        # restore or partial copy must not satisfy the wrong job.
+        "payload": {"experiment": "trace", "spec": {"value": 10},
+                    "result": {"answer": 20}},
+    })
+    assert store.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# Leases and orphan detection
+# ----------------------------------------------------------------------
+
+
+def test_orphaned_lease_lifecycle(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    spec_data = {"value": 5}
+    key = job_key("trace", spec_data)
+    store.lease(key, "trace", 0)
+    orphans = store.orphaned_leases()
+    assert set(orphans) == {key}
+    record = orphans[key]
+    assert record["experiment"] == "trace"
+    assert record["index"] == 0
+    assert record["pid"] == os.getpid()
+    # Completing the job makes the lease moot; the next orphan scan
+    # garbage-collects it instead of reporting a phantom crash.
+    assert store.put(key, "trace", spec_data, {"answer": 10})
+    assert store.orphaned_leases() == {}
+    assert not os.path.exists(store._lease_path(key))
+
+
+def test_release_drops_the_lease(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    key = job_key("trace", {"value": 1})
+    store.lease(key, "trace", 0)
+    store.release(key)
+    assert store.orphaned_leases() == {}
+    store.release(key)  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Partial snapshot, info, clear, directory resolution
+# ----------------------------------------------------------------------
+
+
+def test_partial_snapshot_round_trip(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    assert store.read_partial() is None
+    snapshot = {"done": 2, "total": 5, "failed": 0, "items": []}
+    store.write_partial(snapshot)
+    assert store.read_partial() == snapshot
+
+
+def test_info_and_clear(tmp_path):
+    store = JobStore(str(tmp_path / "ckpt"))
+    _put_one(store, value=1)
+    _put_one(store, value=2)
+    store.lease(job_key("trace", {"value": 3}), "trace", 2)
+    store.write_partial({"done": 2, "total": 3, "failed": 0, "items": []})
+    info = store.info()
+    assert info["checkpoints"] == 2
+    assert info["orphaned_leases"] == 1
+    assert store.clear() == 2
+    assert store.keys() == []
+    assert store.orphaned_leases() == {}
+    assert store.read_partial() is None
+
+
+def test_lease_timeout_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="lease_timeout"):
+        JobStore(str(tmp_path), lease_timeout=0.0)
+
+
+def test_resolve_checkpoint_dir(monkeypatch):
+    monkeypatch.delenv(CHECKPOINT_ENV_VAR, raising=False)
+    assert resolve_checkpoint_dir(None) is None
+    assert resolve_checkpoint_dir("explicit") == "explicit"
+    monkeypatch.setenv(CHECKPOINT_ENV_VAR, "from-env")
+    assert resolve_checkpoint_dir(None) == "from-env"
+    assert resolve_checkpoint_dir("explicit") == "explicit"
+    monkeypatch.setenv(CHECKPOINT_ENV_VAR, "   ")
+    assert resolve_checkpoint_dir(None) is None

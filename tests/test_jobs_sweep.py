@@ -1,0 +1,307 @@
+"""Crash-resume, interrupt and failure semantics of checkpointed sweeps.
+
+The byte-identity bar these tests pin: a sweep killed at any point and
+resumed produces output byte-identical to an uninterrupted run — at
+workers=1 (a SIGKILLed serial sweep *process*, driven as a subprocess)
+and at workers=4 (a SIGKILLed pool worker, in-process).  The probe
+experiments live in ``_sweep_exps`` so the subprocess driver registers
+exactly the same code the in-process assertions use.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import _sweep_exps
+import repro
+from repro.experiments.runner import run_batch
+from repro.jobs import JobStore, SweepBroken, SweepInterrupted
+
+
+@pytest.fixture(autouse=True)
+def probe_experiments():
+    _sweep_exps.install()
+    yield
+    _sweep_exps.uninstall()
+
+
+def canonical(batch) -> str:
+    """The serialized sweep output, exactly as ``repro batch`` writes it."""
+    return json.dumps(batch.to_dict(), indent=2, sort_keys=True)
+
+
+def fuse_jobs(marker, count=5, kill_index=2):
+    """A sweep where one job SIGKILLs its process the first time it runs."""
+    return [
+        {"experiment": "test-fuse", "label": "v%d" % value,
+         "spec": {"value": value,
+                  "kill_marker": str(marker) if value == kill_index else None}}
+        for value in range(count)
+    ]
+
+
+def trip_jobs(marker, count=4, trip_index=1):
+    """A sweep where one job raises KeyboardInterrupt the first time."""
+    return [
+        {"experiment": "test-trip", "label": "v%d" % value,
+         "spec": {"value": value,
+                  "trip_marker": str(marker) if value == trip_index else None}}
+        for value in range(count)
+    ]
+
+
+def reference_run(jobs, marker, **kwargs):
+    """The uninterrupted baseline: arm the marker so nothing sabotages."""
+    marker.write_text("armed\n")
+    try:
+        return canonical(run_batch(jobs, **kwargs))
+    finally:
+        marker.unlink()
+
+
+# ----------------------------------------------------------------------
+# Kill and resume: workers=1 (whole process) and workers=4 (one worker)
+# ----------------------------------------------------------------------
+
+_DRIVER = """\
+import json, sys
+import _sweep_exps
+_sweep_exps.install()
+from repro.experiments.runner import run_batch
+with open(sys.argv[1]) as handle:
+    config = json.load(handle)
+run_batch(config["jobs"], workers=config["workers"],
+          base_seed=config["base_seed"],
+          checkpoint_dir=config["checkpoint"])
+"""
+
+
+def _run_driver(config_path) -> subprocess.CompletedProcess:
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    tests_dir = os.path.dirname(os.path.abspath(_sweep_exps.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([src_dir, tests_dir])
+    return subprocess.run(
+        [sys.executable, "-c", _DRIVER, str(config_path)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def test_kill_and_resume_byte_identical_workers1(tmp_path):
+    marker = tmp_path / "fuse.armed"
+    ckpt = tmp_path / "ckpt"
+    jobs = fuse_jobs(marker)
+    reference = reference_run(jobs, marker, workers=1, base_seed=7)
+
+    config_path = tmp_path / "driver.json"
+    config_path.write_text(json.dumps({
+        "jobs": jobs, "workers": 1, "base_seed": 7,
+        "checkpoint": str(ckpt),
+    }))
+    proc = _run_driver(config_path)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    assert marker.exists()  # the fuse blew, killing the sweep process
+
+    # Serial order: jobs 0 and 1 checkpointed, job 2 died in flight
+    # (its lease survives as the orphan), jobs 3 and 4 never started.
+    store = JobStore(str(ckpt))
+    assert len(store.keys()) == 2
+    orphans = store.orphaned_leases()
+    assert [record["index"] for record in orphans.values()] == [2]
+
+    resumed = run_batch(jobs, workers=1, base_seed=7,
+                        checkpoint_dir=str(ckpt), resume=True)
+    assert canonical(resumed) == reference
+    assert resumed.checkpoint["reused"] == 2
+    assert resumed.checkpoint["computed"] == 3
+    assert set(resumed.checkpoint["orphans"]) == set(orphans)
+
+
+def test_kill_and_resume_byte_identical_workers4(tmp_path):
+    marker = tmp_path / "fuse.armed"
+    ckpt = tmp_path / "ckpt"
+    jobs = fuse_jobs(marker)
+    reference = reference_run(jobs, marker, workers=1, base_seed=7)
+
+    with pytest.raises(SweepBroken) as crash:
+        run_batch(jobs, workers=4, base_seed=7, checkpoint_dir=str(ckpt))
+    assert marker.exists()
+    assert crash.value.total == len(jobs)
+
+    store = JobStore(str(ckpt))
+    orphan_indexes = {
+        record["index"] for record in store.orphaned_leases().values()
+    }
+    assert 2 in orphan_indexes  # the killed worker's in-flight job
+
+    resumed = run_batch(jobs, workers=4, base_seed=7,
+                        checkpoint_dir=str(ckpt), resume=True)
+    assert canonical(resumed) == reference
+    counts = resumed.checkpoint
+    assert counts["reused"] + counts["computed"] == len(jobs)
+    assert counts["computed"] >= 1  # the killed job was never durable
+
+
+# ----------------------------------------------------------------------
+# Ctrl-C is a pause: completed jobs are flushed, resume finishes
+# ----------------------------------------------------------------------
+
+
+def test_interrupt_is_a_pause_serial(tmp_path):
+    marker = tmp_path / "trip.armed"
+    ckpt = tmp_path / "ckpt"
+    jobs = trip_jobs(marker)
+    reference = reference_run(jobs, marker, workers=1, base_seed=3)
+
+    with pytest.raises(SweepInterrupted) as pause:
+        run_batch(jobs, workers=1, base_seed=3, checkpoint_dir=str(ckpt))
+    # Serial order: exactly job 0 completed — and is already durable.
+    assert [outcome.index for outcome in pause.value.outcomes] == [0]
+    assert pause.value.total == len(jobs)
+    assert len(JobStore(str(ckpt)).keys()) == 1
+
+    resumed = run_batch(jobs, workers=1, base_seed=3,
+                        checkpoint_dir=str(ckpt), resume=True)
+    assert canonical(resumed) == reference
+    assert resumed.checkpoint["reused"] == 1
+    assert resumed.checkpoint["computed"] == len(jobs) - 1
+
+
+def test_interrupt_in_pool_worker_tears_down_and_resumes(tmp_path):
+    marker = tmp_path / "trip.armed"
+    ckpt = tmp_path / "ckpt"
+    jobs = trip_jobs(marker, count=6, trip_index=2)
+    reference = reference_run(jobs, marker, workers=1, base_seed=3)
+
+    with pytest.raises(SweepInterrupted):
+        run_batch(jobs, workers=2, base_seed=3, checkpoint_dir=str(ckpt))
+
+    # The pool must be torn down, not abandoned: every worker process
+    # exits promptly once the interrupt surfaces.
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+    resumed = run_batch(jobs, workers=2, base_seed=3,
+                        checkpoint_dir=str(ckpt), resume=True)
+    assert canonical(resumed) == reference
+
+
+# ----------------------------------------------------------------------
+# Per-job failure capture
+# ----------------------------------------------------------------------
+
+
+def flaky_jobs():
+    return [
+        {"experiment": "test-flaky", "label": "ok-a", "spec": {"value": 1}},
+        {"experiment": "test-flaky", "label": "boom",
+         "spec": {"value": 2, "fail": True}},
+        {"experiment": "test-flaky", "label": "ok-b", "spec": {"value": 3}},
+    ]
+
+
+def test_one_failing_job_yields_structured_error_others_complete():
+    batch = run_batch(flaky_jobs(), workers=1)
+    assert len(batch.items) == 3
+    failures = batch.failures()
+    assert [item.index for item in failures] == [1]
+    error = failures[0].error
+    assert error["type"] == "ValueError"
+    assert "told to fail (value=2)" in error["message"]
+    assert error["experiment"] == "test-flaky"
+    assert error["label"] == "boom"
+    assert len(error["spec_hash"]) == 64
+    assert "ValueError" in error["traceback"]
+    assert failures[0].failed and failures[0].result == {}
+    with pytest.raises(ValueError, match="boom|ValueError|failed"):
+        failures[0].result_object()
+    # The surviving jobs are ordinary completed items.
+    assert batch.items[0].result_object().value == 2
+    assert batch.items[2].result_object().value == 6
+
+
+def test_failure_records_identical_serial_and_pooled():
+    serial = canonical(run_batch(flaky_jobs(), workers=1))
+    pooled = canonical(run_batch(flaky_jobs(), workers=2))
+    assert serial == pooled
+
+
+def test_failed_jobs_are_not_checkpointed_and_retry_on_resume(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    first = run_batch(flaky_jobs(), workers=1, checkpoint_dir=str(ckpt))
+    assert first.checkpoint["failed"] == 1
+    assert first.checkpoint["computed"] == 3
+    assert len(JobStore(str(ckpt)).keys()) == 2  # the failure stayed out
+
+    again = run_batch(flaky_jobs(), workers=1, checkpoint_dir=str(ckpt),
+                      resume=True)
+    assert again.checkpoint["reused"] == 2
+    assert again.checkpoint["computed"] == 1  # the failed job retried
+    assert again.checkpoint["failed"] == 1
+    assert canonical(again) == canonical(first)
+
+
+# ----------------------------------------------------------------------
+# Dedup, idempotent resubmission, streaming
+# ----------------------------------------------------------------------
+
+
+def test_identical_jobs_execute_once_with_a_store(tmp_path):
+    jobs = [
+        {"experiment": "test-flaky", "label": "a", "spec": {"value": 4}},
+        {"experiment": "test-flaky", "label": "b", "spec": {"value": 4}},
+        {"experiment": "test-flaky", "label": "c", "spec": {"value": 5}},
+    ]
+    batch = run_batch(jobs, workers=1, checkpoint_dir=str(tmp_path / "ckpt"))
+    assert batch.checkpoint["computed"] == 2
+    assert batch.checkpoint["duplicates"] == 1
+    assert batch.items[0].result == batch.items[1].result
+    assert batch.items[0].label == "a" and batch.items[1].label == "b"
+    # Without a store there is no dedup (and no checkpoint metadata).
+    plain = run_batch(jobs, workers=1)
+    assert plain.checkpoint is None
+    assert canonical(plain) == canonical(batch)
+
+
+def test_resubmitting_a_finished_sweep_recomputes_nothing(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    jobs = [
+        {"experiment": "test-flaky", "label": "v%d" % v, "spec": {"value": v}}
+        for v in range(4)
+    ]
+    first = run_batch(jobs, workers=2, checkpoint_dir=ckpt)
+    second = run_batch(jobs, workers=1, checkpoint_dir=ckpt)
+    assert second.checkpoint["reused"] == 4
+    assert second.checkpoint["computed"] == 0
+    assert canonical(second) == canonical(first)
+
+
+def test_streaming_callback_sees_every_job_in_completion_order(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    jobs = [
+        {"experiment": "test-flaky", "label": "v%d" % v, "spec": {"value": v}}
+        for v in range(3)
+    ]
+    run_batch(jobs, workers=1, checkpoint_dir=ckpt)
+
+    seen = []
+
+    def on_item(item, done, total, source):
+        seen.append((item.index, done, total, source))
+
+    resumed = run_batch(jobs, workers=1, checkpoint_dir=ckpt, on_item=on_item)
+    assert [entry[1] for entry in seen] == [1, 2, 3]
+    assert all(total == 3 for __, __, total, __ in seen)
+    assert all(source == "checkpoint" for __, __, __, source in seen)
+    assert sorted(entry[0] for entry in seen) == [0, 1, 2]
+    assert resumed.checkpoint["reused"] == 3
