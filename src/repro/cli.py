@@ -152,11 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", action="store_true",
                        help="machine-readable output (info only)")
 
-    report = sub.add_parser("report", help="full reproduction report")
+    report = sub.add_parser(
+        "report",
+        help="full reproduction report, or the state of a checkpointed "
+             "sweep (`repro report DIR`)",
+    )
+    report.add_argument(
+        "checkpoint_dir", nargs="?", default=None, metavar="DIR",
+        help="render a sweep checkpoint directory's partial state as "
+             "tables instead of the reproduction report",
+    )
     report.add_argument("--out", default="-",
                         help="output file (default: stdout)")
     report.add_argument("--full", action="store_true",
                         help="paper-scale runs (slow)")
+    report.add_argument("--json", action="store_true",
+                        help="with DIR: print the partial.json snapshot "
+                             "instead of tables")
 
     check = sub.add_parser(
         "check",
@@ -654,6 +666,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.checkpoint_dir is not None:
+        return _report_checkpoint(args)
     from .report.summary import generate_report
 
     text = generate_report(full=args.full)
@@ -663,6 +677,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
         with open(args.out, "w") as f:
             f.write(text if text.endswith("\n") else text + "\n")
         print("wrote %s" % args.out)
+    return 0
+
+
+def _report_checkpoint(args: argparse.Namespace) -> int:
+    """``repro report DIR``: render a sweep checkpoint's partial state.
+
+    The streaming ``partial.json`` snapshot (written by ``repro serve``
+    and checkpointing ``repro batch``/``adversity-study`` sweeps) is
+    re-rendered through the standard table machinery, so watching a
+    sweep and reading its final merge share one format.
+    """
+    import os
+
+    from .experiments.runner import BatchItem
+    from .jobs.store import JobStore
+    from .report import render_partial_table
+
+    if not os.path.isdir(args.checkpoint_dir):
+        print("no such checkpoint directory: %s" % args.checkpoint_dir,
+              file=sys.stderr)
+        return 2
+    store = JobStore(args.checkpoint_dir)
+    payload = store.read_partial()
+    if payload is None:
+        info = store.info()
+        if not info["checkpoints"]:
+            print("no sweep state under %s (no partial.json, no "
+                  "checkpoints)" % args.checkpoint_dir, file=sys.stderr)
+            return 2
+        # Checkpoints but no streaming snapshot (e.g. a sweep driven
+        # with on_item disabled): summarize what is on disk.
+        payload = {"done": info["checkpoints"],
+                   "total": info["checkpoints"], "failed": 0, "items": []}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    items = [BatchItem.from_dict(data) for data in payload.get("items", [])]
+    if items:
+        print(render_partial_table(
+            items,
+            payload.get("total", len(items)),
+            title="checkpointed sweep %s (%d/%d done, %d failed)" % (
+                args.checkpoint_dir, payload.get("done", len(items)),
+                payload.get("total", len(items)), payload.get("failed", 0),
+            ),
+        ))
+    else:
+        print("checkpointed sweep %s: %d job(s) checkpointed (no "
+              "streaming snapshot)"
+              % (args.checkpoint_dir, payload.get("done", 0)))
     return 0
 
 

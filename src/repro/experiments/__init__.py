@@ -110,6 +110,14 @@ from .churn_study import (
     ChurnStudyResult,
     run_churn_study,
 )
+from .adversity import (
+    AdversityImprovement,
+    AdversityPoint,
+    AdversityStudyConfig,
+    AdversityStudyExperiment,
+    AdversityStudyResult,
+    run_adversity_study,
+)
 from .netgen import (
     GeneratedNetwork,
     NetworkConfig,
@@ -127,6 +135,11 @@ from ..scenario.experiment import ScenarioExperiment
 
 __all__ = [
     "AblationsConfig",
+    "AdversityImprovement",
+    "AdversityPoint",
+    "AdversityStudyConfig",
+    "AdversityStudyExperiment",
+    "AdversityStudyResult",
     "AblationsExperiment",
     "AblationsResult",
     "BackpropagationRow",
@@ -191,6 +204,7 @@ __all__ = [
     "register_experiment",
     "run_ablations_experiment",
     "run_batch",
+    "run_adversity_study",
     "run_cdf_experiment",
     "run_churn_study",
     "run_dynamic_experiment",

@@ -1,0 +1,792 @@
+"""Churn under adversity: the fault-plane study (``repro adversity-study``).
+
+The churn study (:mod:`~.churn_study`) answers "how much does the
+start-up scheme buy under steady circuit churn?" on a *perfect*
+network: lossless links, immortal relays.  This experiment asks the
+follow-up question the fault plane exists for: **does the benefit
+survive adversity?**  It sweeps a (link loss rate × relay MTTF) grid —
+every point the same steady-churn operating regime as the churn study —
+and reports, per grid point and controller kind:
+
+* the steady-state start-up improvement (the churn study's y axis),
+* the circuit failure rate (fraction of planned circuits torn down by
+  a relay failure, hop exhaustion, or timeout),
+* tail time-to-first-byte (p95/p99) over the steady circuits, and
+* the per-hop transport's retransmission/timeout counters.
+
+The adversity-free corner (``loss 0``, ``MTTF ∞``) runs the *exact*
+scenario a same-seed churn study runs at the same arrival rate — no
+fault parts, the stock transport — so its improvement figures match
+the churn study to the last bit; every other point layers
+:class:`~repro.scenario.LinkFaults` and
+:class:`~repro.scenario.RelayChurnFaults` on top and promotes the
+transport to the ``reliable`` profile (loss without retransmission
+would starve, not degrade).  MTTF is encoded as seconds-between-kills
+with ``0.0`` meaning *disabled* (infinite MTTF): JSON has no
+``Infinity``, and the fault plane treats a zero rate as "never".
+
+Each grid point is one declarative :class:`~repro.scenario.Scenario`
+job through :func:`~repro.experiments.runner.run_batch`, so the sweep
+inherits the whole execution surface: ``--workers`` fans points over a
+process pool, a disk plan cache shares the generated network across
+workers, and ``--checkpoint`` makes the sweep crash-resumable
+(``repro report <dir>`` renders the partial state while it runs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.stats import EmpiricalCdf
+from ..scenario import (
+    FailureRateProbe,
+    LinkFaults,
+    RelayChurnFaults,
+    ScenarioResult,
+    plan_scenario,
+)
+from ..scenario.cache import DEFAULT_CACHE
+from ..transport.config import TransportConfig, transport_profile_names
+from ..units import kib, seconds
+from .api import Experiment, ExperimentResult, ExperimentSpec
+from .churn_study import ChurnStudyConfig
+from .netgen import NetworkConfig
+from .registry import register_experiment
+from .runner import BatchJob, run_batch
+
+__all__ = [
+    "AdversityImprovement",
+    "AdversityPoint",
+    "AdversityStudyConfig",
+    "AdversityStudyExperiment",
+    "AdversityStudyResult",
+    "run_adversity_study",
+]
+
+#: Default loss grid: the clean corner plus light and noticeable loss.
+DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 0.005, 0.02)
+
+#: Default MTTF grid: immortal relays plus one kill regime (seconds
+#: between kills aggregated over all relays; 0.0 disables).
+DEFAULT_RELAY_MTTFS: Tuple[float, ...] = (0.0, 4.0)
+
+
+def _default_network() -> NetworkConfig:
+    return NetworkConfig(relay_count=30, client_count=30, server_count=30)
+
+
+@dataclass(frozen=True)
+class AdversityStudyConfig(ExperimentSpec):
+    """Parameters of the (loss rate × relay MTTF) adversity sweep.
+
+    The churn-regime fields (circuit count, payload mix, seed, windows)
+    deliberately mirror :class:`~.churn_study.ChurnStudyConfig`: the
+    point builder routes through it, so a same-seed churn study at
+    ``arrival_rate`` and this study's adversity-free corner are the
+    same scenario, draw for draw.
+
+    ``workers`` / ``checkpoint_dir`` / ``resume`` are execution
+    details, not model parameters: non-field attributes (set via
+    :meth:`with_workers` / :meth:`with_checkpoint`, never serialized),
+    so a parallel or resumed sweep's structured output stays
+    byte-identical to a serial fresh one.
+    """
+
+    #: Per-link Bernoulli loss probabilities swept (0.0 = lossless).
+    loss_rates: Tuple[float, ...] = DEFAULT_LOSS_RATES
+    #: Mean time to failure across all relays (seconds); 0.0 disables
+    #: relay churn at that point (the JSON-safe spelling of ∞).
+    relay_mttfs: Tuple[float, ...] = DEFAULT_RELAY_MTTFS
+    #: The one churn operating point every grid cell shares.
+    arrival_rate: float = 4.0
+    circuit_count: int = 40
+    hops: int = 3
+    bulk_fraction: float = 0.7
+    bulk_payload_bytes: int = kib(300)
+    interactive_payload_bytes: int = kib(25)
+    seed: int = 2018
+    start_window: float = seconds(2.0)
+    horizon: float = seconds(8.0)
+    probe_interval: float = 0.25
+    max_sim_time: float = seconds(120.0)
+    kinds: Tuple[str, str] = ("with", "without")
+    network: NetworkConfig = field(default_factory=_default_network)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    #: Mean time to restart a killed relay (0.0 = killed for good).
+    relay_mttr: float = 0.5
+    #: Upper bound on kills per run (keeps small grids comparable).
+    max_relay_kills: int = 4
+    #: Transport profile applied at every *faulted* point; the
+    #: adversity-free corner keeps ``transport`` untouched.
+    transport_profile: str = "reliable"
+
+    def __post_init__(self) -> None:
+        if not self.loss_rates or not self.relay_mttfs:
+            raise ValueError(
+                "the adversity grid needs at least one loss rate and "
+                "one relay MTTF"
+            )
+        if any(rate < 0 or rate >= 1 for rate in self.loss_rates):
+            raise ValueError(
+                "loss rates must be within [0, 1), got %r" % (self.loss_rates,)
+            )
+        if any(mttf < 0 for mttf in self.relay_mttfs):
+            raise ValueError(
+                "relay MTTFs must be non-negative (0 disables), got %r"
+                % (self.relay_mttfs,)
+            )
+        if len(set(self.loss_rates)) != len(self.loss_rates):
+            raise ValueError(
+                "loss rates must be distinct, got %r" % (self.loss_rates,)
+            )
+        if len(set(self.relay_mttfs)) != len(self.relay_mttfs):
+            raise ValueError(
+                "relay MTTFs must be distinct, got %r" % (self.relay_mttfs,)
+            )
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                "arrival_rate must be positive, got %r" % self.arrival_rate
+            )
+        if self.relay_mttr < 0:
+            raise ValueError(
+                "relay_mttr must be non-negative, got %r" % self.relay_mttr
+            )
+        if self.transport_profile not in transport_profile_names():
+            raise ValueError(
+                "unknown transport profile %r (known: %s)"
+                % (self.transport_profile,
+                   ", ".join(transport_profile_names()))
+            )
+        # Delegate the shared churn-regime validation (windows, kinds,
+        # probe grid) to the churn study config the points route
+        # through; a bad combination fails here, not mid-sweep.
+        self._churn_config()
+        # Execution details, not dataclass fields: never serialized, so
+        # parallel/checkpointed sweeps emit byte-identical results.
+        object.__setattr__(self, "workers", 1)
+        object.__setattr__(self, "checkpoint_dir", None)
+        object.__setattr__(self, "resume", False)
+
+    # --- execution knobs --------------------------------------------------
+
+    def _carrying(self, **knobs: object) -> "AdversityStudyConfig":
+        clone = replace(self)
+        for name in ("workers", "checkpoint_dir", "resume"):
+            object.__setattr__(
+                clone, name, knobs.get(name, getattr(self, name))
+            )
+        return clone
+
+    def with_workers(self, workers: int) -> "AdversityStudyConfig":
+        """A copy whose sweep fans out over *workers* processes."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        return self._carrying(workers=int(workers))
+
+    def with_checkpoint(
+        self, directory: Optional[str], resume: bool = False
+    ) -> "AdversityStudyConfig":
+        """A copy whose sweep checkpoints completed points under *directory*."""
+        return self._carrying(checkpoint_dir=directory, resume=bool(resume))
+
+    # --- the grid ---------------------------------------------------------
+
+    def grid(self) -> List[Tuple[float, float]]:
+        """The swept (loss rate, relay MTTF) points, loss-major order."""
+        return [
+            (loss, mttf)
+            for loss in self.loss_rates
+            for mttf in self.relay_mttfs
+        ]
+
+    def _churn_config(self) -> ChurnStudyConfig:
+        """The same-seed churn study this sweep's clean corner matches."""
+        return ChurnStudyConfig(
+            rates=(self.arrival_rate,),
+            circuit_count=self.circuit_count,
+            hops=self.hops,
+            bulk_fraction=self.bulk_fraction,
+            bulk_payload_bytes=self.bulk_payload_bytes,
+            interactive_payload_bytes=self.interactive_payload_bytes,
+            seed=self.seed,
+            start_window=self.start_window,
+            horizon=self.horizon,
+            probe_interval=self.probe_interval,
+            max_sim_time=self.max_sim_time,
+            kinds=self.kinds,
+            network=self.network,
+            transport=self.transport,
+        )
+
+    def point_scenario(self, loss_rate: float, relay_mttf: float):
+        """The declarative scenario of one grid point.
+
+        Routed through the churn study's point builder so the
+        adversity-free corner is *exactly* the scenario a same-seed
+        churn study runs — same plan hash, same draws, same samples.
+        Faulted points extend it: fault parts, a failure-rate probe,
+        and the reliable transport profile.  The fault events are drawn
+        from a dedicated plan substream *after* every network/workload
+        draw, so arming the fault plane never perturbs the schedule the
+        clean corner pinned.
+        """
+        scenario = self._churn_config().point_config(self.arrival_rate
+                                                     ).to_scenario()
+        if loss_rate == 0.0 and relay_mttf == 0.0:
+            return scenario
+        faults = []
+        if loss_rate > 0.0:
+            faults.append(LinkFaults(loss_rate=loss_rate))
+        if relay_mttf > 0.0:
+            faults.append(RelayChurnFaults(
+                mttf=relay_mttf,
+                mttr=self.relay_mttr,
+                max_kills=self.max_relay_kills,
+                horizon=self.horizon,
+            ))
+        return replace(
+            scenario,
+            faults=tuple(faults),
+            probes=scenario.probes
+            + (FailureRateProbe(interval=self.probe_interval),),
+            transport=scenario.transport.with_profile(self.transport_profile),
+        )
+
+
+@dataclass
+class AdversityPoint(ExperimentResult):
+    """One (loss rate, relay MTTF, controller kind) row of the study.
+
+    Medians and tails are over the *steady-state* circuits (those that
+    arrived at or after the churn settle time); ``None`` when no steady
+    circuit produced the metric.  ``failure_rate`` covers every planned
+    circuit of the run — a warm-up circuit killed by a dying relay is
+    just as failed as a steady one.
+    """
+
+    loss_rate: float
+    relay_mttf: float
+    kind: str
+    circuits: int
+    steady_circuits: int
+    #: Fraction of planned circuits that never delivered their payload.
+    failure_rate: float
+    #: Steady-window mean of the bottleneck relay's link utilization.
+    bottleneck_utilization: float
+    median_ttfb: Optional[float]
+    p95_ttfb: Optional[float]
+    p99_ttfb: Optional[float]
+    median_ttlb: Optional[float]
+    median_startup: Optional[float]
+    #: Per-hop go-back-N activity summed over the run's senders
+    #: (zero at the adversity-free corner: the machinery is gated off).
+    retransmissions: int
+    timeouts: int
+
+
+@dataclass
+class AdversityImprovement(ExperimentResult):
+    """One grid point's with-vs-without deltas (positive = faster).
+
+    The improvement math mirrors the churn study row for row, so the
+    adversity-free corner's figures equal a same-seed churn study's at
+    the same arrival rate, exactly.
+    """
+
+    loss_rate: float
+    relay_mttf: float
+    #: The baseline (second kind) steady utilization, as in the churn
+    #: study's Figure-1c x axis.
+    bottleneck_utilization: float
+    ttfb_improvement: Optional[float]
+    ttlb_improvement: Optional[float]
+    startup_improvement: Optional[float]
+    #: The larger of the two kinds' failure rates at this point.
+    failure_rate: float
+    #: Relay kill events planned at this point (same for both kinds).
+    relay_kills: int
+
+
+@dataclass
+class AdversityStudyResult(ExperimentResult):
+    """The study: per-(loss, MTTF, kind) rows plus per-point deltas.
+
+    Plan-cache and checkpoint counters ride along as non-serialized
+    attributes (like :class:`~.runner.BatchResult`), so cached,
+    checkpointed and parallel sweeps stay byte-identical on disk.
+    """
+
+    config: AdversityStudyConfig
+    bottleneck_relay: str
+    #: One row per (loss rate, relay MTTF, kind), grid-major order.
+    points: List[AdversityPoint]
+    #: One row per grid point: the with-vs-without deltas.
+    improvements: List[AdversityImprovement]
+
+    def __post_init__(self) -> None:
+        self.plan_cache: Optional[Dict[str, int]] = None
+        self.checkpoint: Optional[Dict[str, object]] = None
+
+    # --- analysis helpers -------------------------------------------------
+
+    def point(
+        self, loss_rate: float, relay_mttf: float, kind: str
+    ) -> AdversityPoint:
+        """The row for the grid cell; raises ``KeyError`` if absent."""
+        for row in self.points:
+            if (row.loss_rate == loss_rate and row.relay_mttf == relay_mttf
+                    and row.kind == kind):
+                return row
+        raise KeyError(
+            "no study point for loss=%r mttf=%r kind=%r"
+            % (loss_rate, relay_mttf, kind)
+        )
+
+    def improvement(
+        self, loss_rate: float, relay_mttf: float
+    ) -> AdversityImprovement:
+        """The delta row for the grid cell; ``KeyError`` if absent."""
+        for row in self.improvements:
+            if row.loss_rate == loss_rate and row.relay_mttf == relay_mttf:
+                return row
+        raise KeyError(
+            "no improvement row for loss=%r mttf=%r"
+            % (loss_rate, relay_mttf)
+        )
+
+    def improvement_series(
+        self, metric: str = "startup"
+    ) -> List[Tuple[str, List[Tuple[float, float]]]]:
+        """(loss rate → improvement) series, one per swept MTTF.
+
+        *metric* is ``"ttfb"``, ``"ttlb"`` or ``"startup"``; grid
+        points where either kind lacks the metric are skipped.
+        """
+        attribute = {
+            "ttfb": "ttfb_improvement",
+            "ttlb": "ttlb_improvement",
+            "startup": "startup_improvement",
+        }[metric]
+        series = []
+        for mttf in self.config.relay_mttfs:
+            label = "MTTF ∞" if mttf == 0.0 else "MTTF %g s" % mttf
+            points = [
+                (row.loss_rate, value)
+                for row in self.improvements
+                if row.relay_mttf == mttf
+                and (value := getattr(row, attribute)) is not None
+            ]
+            series.append((label, points))
+        return series
+
+    def failure_series(self, kind: str) -> List[Tuple[str, List[Tuple[float, float]]]]:
+        """(loss rate → failure rate) series for *kind*, one per MTTF."""
+        series = []
+        for mttf in self.config.relay_mttfs:
+            label = "MTTF ∞" if mttf == 0.0 else "MTTF %g s" % mttf
+            points = [
+                (row.loss_rate, row.failure_rate)
+                for row in self.points
+                if row.relay_mttf == mttf and row.kind == kind
+            ]
+            series.append((label, points))
+        return series
+
+    def figure(self, width: int = 72, height: int = 14) -> str:
+        """Two ASCII panels: improvement and failure rate vs loss rate."""
+        from ..report import render_series
+
+        improvement_panel = render_series(
+            self.improvement_series("startup"),
+            width=width,
+            height=height,
+            x_label="link loss rate",
+            y_label="steady start-up improvement [s]",
+            hline=0.0,
+            hline_label="no improvement",
+        )
+        failure_panel = render_series(
+            self.failure_series(self.config.kinds[0]),
+            width=width,
+            height=height,
+            x_label="link loss rate",
+            y_label="circuit failure rate (%s)" % self.config.kinds[0],
+        )
+        return "\n\n".join([improvement_panel, failure_panel])
+
+
+def _median(values: List[float]) -> Optional[float]:
+    return EmpiricalCdf(values).median if values else None
+
+
+def _quantile(values: List[float], q: float) -> Optional[float]:
+    return EmpiricalCdf(values).quantile(q) if values else None
+
+
+def _aggregate_point(
+    config: AdversityStudyConfig,
+    loss_rate: float,
+    relay_mttf: float,
+    result: ScenarioResult,
+    kind: str,
+) -> AdversityPoint:
+    """Reduce one grid point's per-circuit samples to one row.
+
+    The median/steady math is operation-for-operation the churn study's
+    ``_aggregate_point`` (the exactness contract of the clean corner);
+    the ``None`` filters are new but vacuous there — a fault-free run
+    completes every circuit.
+    """
+    settle = config.start_window
+    horizon = config.horizon
+    steady = result.steady_samples(kind)
+    utilization_series = result.probe_series(kind, "utilization")
+    if len(utilization_series) != 1:
+        raise RuntimeError(
+            "adversity study expects exactly one bottleneck utilization "
+            "series per kind, got %d" % len(utilization_series)
+        )
+    utilization = utilization_series[0].mean_between(settle, horizon)
+    steady_ttfb = [
+        s.time_to_first_byte for s in steady
+        if s.time_to_first_byte is not None
+    ]
+    counters = result.transport_counters.get(kind, {})
+    startup = [
+        s.startup_duration for s in steady
+        if s.startup_duration is not None
+    ]
+    return AdversityPoint(
+        loss_rate=loss_rate,
+        relay_mttf=relay_mttf,
+        kind=kind,
+        circuits=len(result.samples[kind]),
+        steady_circuits=len(steady),
+        failure_rate=result.failure_rate(kind),
+        bottleneck_utilization=utilization,
+        median_ttfb=_median(steady_ttfb),
+        p95_ttfb=_quantile(steady_ttfb, 0.95),
+        p99_ttfb=_quantile(steady_ttfb, 0.99),
+        median_ttlb=_median(
+            [s.time_to_last_byte for s in steady
+             if s.time_to_last_byte is not None]
+        ),
+        median_startup=_median(startup),
+        retransmissions=int(counters.get("retransmissions", 0)),
+        timeouts=int(counters.get("timeouts", 0)),
+    )
+
+
+def _improvement(
+    loss_rate: float,
+    relay_mttf: float,
+    with_point: AdversityPoint,
+    without_point: AdversityPoint,
+    relay_kills: int,
+) -> AdversityImprovement:
+    def delta(
+        without_value: Optional[float], with_value: Optional[float]
+    ) -> Optional[float]:
+        if without_value is None or with_value is None:
+            return None
+        return without_value - with_value
+
+    return AdversityImprovement(
+        loss_rate=loss_rate,
+        relay_mttf=relay_mttf,
+        bottleneck_utilization=without_point.bottleneck_utilization,
+        ttfb_improvement=delta(
+            without_point.median_ttfb, with_point.median_ttfb
+        ),
+        ttlb_improvement=delta(
+            without_point.median_ttlb, with_point.median_ttlb
+        ),
+        startup_improvement=delta(
+            without_point.median_startup, with_point.median_startup
+        ),
+        failure_rate=max(
+            with_point.failure_rate, without_point.failure_rate
+        ),
+        relay_kills=relay_kills,
+    )
+
+
+def _aggregate(
+    config: AdversityStudyConfig,
+    results: List[ScenarioResult],
+) -> AdversityStudyResult:
+    """Assemble the study from one ScenarioResult per grid point."""
+    bottlenecks = {result.bottleneck_relay for result in results}
+    if len(bottlenecks) != 1:
+        raise RuntimeError(
+            "grid points disagree on the bottleneck relay (%r): the "
+            "operating points no longer share one generated network"
+            % sorted(bottlenecks)
+        )
+    with_kind, without_kind = config.kinds
+    points: List[AdversityPoint] = []
+    improvements: List[AdversityImprovement] = []
+    for (loss, mttf), result in zip(config.grid(), results):
+        per_kind = {
+            kind: _aggregate_point(config, loss, mttf, result, kind)
+            for kind in config.kinds
+        }
+        points.extend(per_kind[kind] for kind in config.kinds)
+        # Kill events are a plan property, identical across kinds:
+        # count them from the point's (cached) plan, not from the
+        # failure records — a kill that happened to fail no circuit
+        # still counts as adversity.
+        plan = plan_scenario(result.scenario, cache=DEFAULT_CACHE)
+        kills = sum(
+            1 for event in plan.fault_events if event.action == "kill"
+        )
+        improvements.append(
+            _improvement(
+                loss, mttf, per_kind[with_kind], per_kind[without_kind], kills
+            )
+        )
+    return AdversityStudyResult(
+        config=config,
+        bottleneck_relay=bottlenecks.pop(),
+        points=points,
+        improvements=improvements,
+    )
+
+
+@register_experiment
+class AdversityStudyExperiment(Experiment):
+    """The fault-plane sweep behind ``repro adversity-study``."""
+
+    name = "adversity-study"
+    help = "churn under adversity: (loss rate x relay MTTF) fault sweep"
+    spec_type = AdversityStudyConfig
+    result_type = AdversityStudyResult
+
+    def run(self, spec: AdversityStudyConfig) -> AdversityStudyResult:
+        jobs = [
+            BatchJob(experiment="scenario",
+                     spec=spec.point_scenario(loss, mttf))
+            for loss, mttf in spec.grid()
+        ]
+        workers = getattr(spec, "workers", 1)
+        if workers > 1 and multiprocessing.current_process().daemon:
+            # Inside a pool worker (the study itself swept by `repro
+            # batch --workers N`): daemonic processes cannot spawn
+            # children, so the inner sweep degrades to serial.
+            workers = 1
+        disk = DEFAULT_CACHE.disk
+        checkpoint_dir = getattr(spec, "checkpoint_dir", None)
+        on_item = None
+        if checkpoint_dir is not None:
+            # Stream the partial state as points finish, so `repro
+            # report <checkpoint-dir>` can watch the sweep in flight.
+            from ..jobs.store import JobStore
+            from ..report.partial import partial_payload
+
+            store = JobStore(checkpoint_dir)
+            completed: List[object] = []
+
+            def on_item(item, done, total, source):
+                completed.append(item)
+                store.write_partial(partial_payload(completed, total))
+
+        batch = run_batch(
+            jobs,
+            workers=workers,
+            plan_cache_dir=disk.directory if disk is not None else None,
+            checkpoint_dir=checkpoint_dir,
+            resume=getattr(spec, "resume", False),
+            on_item=on_item,
+        )
+        results = [item.result_object() for item in batch.items]
+        study = _aggregate(spec, results)
+        study.plan_cache = batch.plan_cache
+        study.checkpoint = getattr(batch, "checkpoint", None)
+        return study
+
+    def estimate_cost(self, spec: AdversityStudyConfig) -> Dict[str, int]:
+        totals = {"circuits": 0, "cells": 0, "cell_hops": 0}
+        for loss, mttf in spec.grid():
+            cost = plan_scenario(
+                spec.point_scenario(loss, mttf), cache=DEFAULT_CACHE
+            ).estimated_cost()
+            for key in totals:
+                totals[key] += cost[key]
+        totals["kinds"] = len(spec.kinds)
+        return totals
+
+    def add_cli_arguments(self, parser) -> None:
+        parser.add_argument(
+            "--loss-rates", default="0,0.005,0.02", metavar="L1,L2,...",
+            help="comma-separated per-link loss probabilities to sweep "
+                 "(default 0,0.005,0.02)",
+        )
+        parser.add_argument(
+            "--mttfs", default="0,4", metavar="M1,M2,...",
+            help="comma-separated relay mean-times-to-failure in seconds "
+                 "(0 disables relay churn at that point; default 0,4)",
+        )
+        parser.add_argument(
+            "--rate", type=float, default=4.0, metavar="R",
+            help="churn arrival rate shared by every grid point "
+                 "(circuits/second, default 4)",
+        )
+        parser.add_argument("--circuits", type=int, default=40)
+        parser.add_argument("--relays", type=int, default=30)
+        parser.add_argument("--bulk-fraction", type=float, default=0.7)
+        parser.add_argument("--bulk-payload-kib", type=int, default=300)
+        parser.add_argument("--seed", type=int, default=2018)
+        parser.add_argument(
+            "--horizon", type=float, default=8.0, metavar="SECONDS",
+            help="simulated time after which no re-arrival (or planned "
+                 "relay kill) occurs (default 8.0)",
+        )
+        parser.add_argument(
+            "--probe-interval", type=float, default=0.25, metavar="SECONDS",
+            help="utilization/goodput/failure sampling grid (default 0.25)",
+        )
+        parser.add_argument(
+            "--mttr", type=float, default=0.5, metavar="SECONDS",
+            help="mean time to restart a killed relay (0 = killed for "
+                 "good; default 0.5)",
+        )
+        parser.add_argument(
+            "--max-kills", type=int, default=4, metavar="N",
+            help="cap on relay kills per run (default 4)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="run grid points over N worker processes (output is "
+                 "byte-identical to --workers 1)",
+        )
+        parser.add_argument(
+            "--checkpoint", default=None, metavar="DIR",
+            help="checkpoint completed grid points under DIR (resumable "
+                 "via --resume; `repro report DIR` renders the partial "
+                 "state)",
+        )
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="serve already-checkpointed points from --checkpoint "
+                 "DIR instead of re-running them",
+        )
+
+    def spec_from_cli(self, args) -> AdversityStudyConfig:
+        from .api import SpecError
+
+        def parse_grid(text: str, flag: str) -> Tuple[float, ...]:
+            try:
+                return tuple(
+                    float(token) for token in text.split(",") if token.strip()
+                )
+            except ValueError:
+                raise SpecError(
+                    "%s expects comma-separated numbers, got %r"
+                    % (flag, text)
+                )
+
+        loss_rates = parse_grid(args.loss_rates, "--loss-rates")
+        mttfs = parse_grid(args.mttfs, "--mttfs")
+        try:
+            spec = AdversityStudyConfig(
+                loss_rates=loss_rates,
+                relay_mttfs=mttfs,
+                arrival_rate=args.rate,
+                circuit_count=args.circuits,
+                bulk_fraction=args.bulk_fraction,
+                bulk_payload_bytes=kib(args.bulk_payload_kib),
+                seed=args.seed,
+                horizon=args.horizon,
+                probe_interval=args.probe_interval,
+                relay_mttr=args.mttr,
+                max_relay_kills=args.max_kills,
+                network=NetworkConfig(
+                    relay_count=args.relays,
+                    client_count=max(args.relays, 1),
+                    server_count=max(args.relays, 1),
+                ),
+            ).with_workers(args.workers)
+            if args.checkpoint is not None:
+                spec = spec.with_checkpoint(args.checkpoint, args.resume)
+            return spec
+        except ValueError as error:
+            raise SpecError(str(error))
+
+    def render(self, result: AdversityStudyResult) -> str:
+        from ..report import format_table
+
+        config = result.config
+
+        def mttf_label(mttf: float) -> str:
+            return "inf" if mttf == 0.0 else "%g" % mttf
+
+        rows = [
+            [
+                point.loss_rate, mttf_label(point.relay_mttf), point.kind,
+                point.circuits, point.failure_rate,
+                point.bottleneck_utilization, point.median_ttfb,
+                point.p95_ttfb, point.p99_ttfb, point.median_startup,
+                point.retransmissions,
+            ]
+            for point in result.points
+        ]
+        table = format_table(
+            ["loss", "MTTF [s]", "controller", "circuits", "fail rate",
+             "utilization", "med TTFB [s]", "p95 TTFB [s]", "p99 TTFB [s]",
+             "med startup [s]", "retx"],
+            rows,
+            title="Adversity study: %d grid points at %g circuits/s "
+                  "through bottleneck %s"
+            % (len(config.grid()), config.arrival_rate,
+               result.bottleneck_relay),
+        )
+        improvement_rows = [
+            [
+                row.loss_rate, mttf_label(row.relay_mttf),
+                row.bottleneck_utilization, row.failure_rate,
+                row.relay_kills, row.ttfb_improvement, row.ttlb_improvement,
+                row.startup_improvement,
+            ]
+            for row in result.improvements
+        ]
+        improvement_table = format_table(
+            ["loss", "MTTF [s]", "utilization", "fail rate", "kills",
+             "TTFB gain [s]", "TTLB gain [s]", "startup gain [s]"],
+            improvement_rows,
+            title="Improvement under adversity (%s vs %s, positive = faster)"
+            % (config.kinds[0], config.kinds[1]),
+        )
+        lines = [table, "", improvement_table, "", result.figure()]
+        stats = getattr(result, "plan_cache", None)
+        if stats and sum(stats.values()):
+            lines.append("")
+            lines.append(
+                "plan cache: %d plan hit(s) / %d miss(es), %d network "
+                "hit(s) / %d miss(es)"
+                % (stats.get("plan_hits", 0), stats.get("plan_misses", 0),
+                   stats.get("network_hits", 0),
+                   stats.get("network_misses", 0))
+            )
+        checkpoint = getattr(result, "checkpoint", None)
+        if checkpoint:
+            lines.append(
+                "checkpoint: %s (%d computed / %d reused)"
+                % (checkpoint.get("directory", "?"),
+                   checkpoint.get("computed", 0),
+                   checkpoint.get("reused", 0))
+            )
+        return "\n".join(lines)
+
+
+def run_adversity_study(
+    config: Optional[AdversityStudyConfig] = None, workers: int = 1
+) -> AdversityStudyResult:
+    """Run the adversity grid sweep (wrapper over the registry)."""
+    from .registry import get_experiment
+
+    spec = config if config is not None else AdversityStudyConfig()
+    if workers != 1:
+        spec = spec.with_workers(workers)
+    return get_experiment("adversity-study").run(spec)

@@ -125,6 +125,10 @@ class Interface:
         #: scheduled (the captor delivers it, e.g. in another shard's
         #: simulator).  The transmitter still frees up normally.
         self.on_serialize = None
+        #: Optional :class:`~repro.net.faults.FaultModel` filtering every
+        #: transmission: its verdict drops the packet or adds delivery
+        #: delay.  ``None`` (the default) keeps the fast path untouched.
+        self.fault_model = None
         # Bound methods allocated once here instead of once per cell in
         # the transmit loop.
         self._on_tx_complete = self._transmission_complete
@@ -204,6 +208,18 @@ class Interface:
             packet, sim.now + (tx_time + link.delay)
         ):
             return
+        fault = self.fault_model
+        if fault is not None:
+            verdict = fault.on_transmit(packet)
+            if verdict < 0.0:
+                # Dropped: the transmitter was still occupied for the
+                # full serialization time, but no delivery is scheduled.
+                return
+            if verdict > 0.0:
+                sim.schedule_fast(
+                    (tx_time + link.delay) + verdict, self._on_deliver, packet
+                )
+                return
         sim.schedule_fast(tx_time + link.delay, self._on_deliver, packet)
 
     def _transmission_complete(self) -> None:

@@ -53,6 +53,12 @@ class Node:
         self._handler = handler
         self.packets_received = 0
         self.bytes_received = 0
+        #: Liveness flag driven by the fault plane: a node marked down
+        #: (a killed relay) silently drops everything delivered to it
+        #: until restarted.  Counted, not raised — a dead relay cannot
+        #: answer, and the transport's timers are how neighbors notice.
+        self.up = True
+        self.packets_dropped_down = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -99,6 +105,9 @@ class Node:
 
     def deliver(self, packet: Packet, from_interface: Interface) -> None:
         """Called by the link layer when *packet* arrives at this node."""
+        if not self.up:
+            self.packets_dropped_down += 1
+            return
         self.packets_received += 1
         self.bytes_received += packet.size
         if packet.dst and packet.dst != self.name:

@@ -57,13 +57,21 @@ from .cache import (
     resolve_cache_dir,
     spec_hash,
 )
-from .churn import NoChurn, OpenLoopChurn
+from .churn import ClosedLoopChurn, NoChurn, OpenLoopChurn
 from .engine import (
+    CircuitFailure,
     KindRun,
     ScenarioCircuitSample,
     ScenarioResult,
     run_planned,
     run_scenario,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    LinkFaults,
+    RelayChurnFaults,
+    RelayFailure,
 )
 from .netgen import (
     GeneratedNetwork,
@@ -75,6 +83,7 @@ from .netgen import (
 )
 from .parts import (
     ChurnProcess,
+    FaultProcess,
     Probe,
     ScenarioPart,
     TopologySource,
@@ -84,21 +93,39 @@ from .parts import (
     lookup_part,
     register_part,
 )
-from .probes import GoodputProbe, ProbeSeries, QueueDepthProbe, UtilizationProbe
+from .probes import (
+    FailureRateProbe,
+    GoodputProbe,
+    ProbeSeries,
+    QueueDepthProbe,
+    UtilizationProbe,
+)
 from .spec import PlannedCircuit, Scenario, ScenarioPlan, plan_scenario
 from .topology import GeneratedTopology, forced_bottleneck_paths
-from .workloads import BulkWorkload, InteractiveWorkload, WorkloadRun
+from .workloads import (
+    BulkWorkload,
+    InteractiveWorkload,
+    RequestResponseWorkload,
+    WorkloadRun,
+)
 
 __all__ = [
     "BulkWorkload",
     "ChurnProcess",
+    "CircuitFailure",
+    "ClosedLoopChurn",
     "DEFAULT_CACHE",
     "DiskPlanCache",
+    "FailureRateProbe",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProcess",
     "GeneratedNetwork",
     "GeneratedTopology",
     "GoodputProbe",
     "InteractiveWorkload",
     "KindRun",
+    "LinkFaults",
     "NetworkConfig",
     "NetworkPlan",
     "NoChurn",
@@ -109,6 +136,9 @@ __all__ = [
     "Probe",
     "ProbeSeries",
     "QueueDepthProbe",
+    "RelayChurnFaults",
+    "RelayFailure",
+    "RequestResponseWorkload",
     "Scenario",
     "ScenarioCircuitSample",
     "ScenarioPart",

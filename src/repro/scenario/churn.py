@@ -31,7 +31,7 @@ from typing import Any, ClassVar, List, Optional, Tuple
 
 from .parts import ChurnProcess, register_part
 
-__all__ = ["NoChurn", "OpenLoopChurn", "stream_name"]
+__all__ = ["ClosedLoopChurn", "NoChurn", "OpenLoopChurn", "stream_name"]
 
 
 def stream_name(namespace: str, label: str) -> str:
@@ -133,6 +133,87 @@ class OpenLoopChurn(ChurnProcess):
             if at >= self.horizon:
                 break
             arrivals.append((1, at))
+        return arrivals
+
+    def settle_time(self) -> float:
+        return self.start_window if self.settle is None else self.settle
+
+
+@register_part
+@dataclass(frozen=True)
+class ClosedLoopChurn(ChurnProcess):
+    """A fixed user population with think times between sessions.
+
+    Each of the ``circuit_count`` users starts one circuit in the
+    initial wave; when a session ends, the user *thinks* for an
+    exponential time (mean ``think_time``) and comes back with a fresh
+    circuit, until ``horizon``.  Because the plan cannot know actual
+    completion times (they depend on the controller kind under test,
+    and a plan must serve every kind identically), each session's
+    duration is approximated at planning time by the fixed
+    ``service_estimate`` — the closed-loop analogue of the open-loop
+    process's rate parameter.  All draws come from the ``churn``
+    substream, one user at a time, so the schedule is replayable.
+    """
+
+    #: The initial wave starts uniformly within this window (seconds).
+    start_window: float = 2.0
+    #: Mean think time between a session's end and the next arrival.
+    think_time: float = 1.0
+    #: Planned session duration standing in for the unknown actual one.
+    service_estimate: float = 1.0
+    #: No re-arrival is planned at or after this simulated time.
+    horizon: float = 8.0
+    #: Samples from circuits that started before this time count as
+    #: warm-up, not steady state; defaults to ``start_window``.
+    settle: Optional[float] = None
+    part: str = field(default="closed-loop", init=False)
+
+    departures: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if self.start_window < 0:
+            raise ValueError(
+                "start_window must be non-negative, got %r" % self.start_window
+            )
+        if self.think_time <= 0:
+            raise ValueError(
+                "think_time must be positive, got %r" % self.think_time
+            )
+        if self.service_estimate <= 0:
+            raise ValueError(
+                "service_estimate must be positive, got %r" % self.service_estimate
+            )
+        if self.horizon < self.start_window:
+            raise ValueError(
+                "horizon (%r) must not precede the start window (%r)"
+                % (self.horizon, self.start_window)
+            )
+        if self.settle is not None and self.settle < 0:
+            raise ValueError(
+                "settle must be non-negative, got %r" % self.settle
+            )
+
+    def plan_arrivals(
+        self, scenario: Any, streams: Any
+    ) -> List[Tuple[int, float]]:
+        namespace = scenario.rng_namespace
+        start_rng = streams.stream(stream_name(namespace, "starts"))
+        wave = [
+            start_rng.uniform(0.0, self.start_window)
+            for __ in range(scenario.circuit_count)
+        ]
+        arrivals: List[Tuple[int, float]] = [(0, at) for at in wave]
+        churn_rng = streams.stream(stream_name(namespace, "churn"))
+        for first in wave:
+            at = first
+            while True:
+                at += self.service_estimate + churn_rng.expovariate(
+                    1.0 / self.think_time
+                )
+                if at >= self.horizon:
+                    break
+                arrivals.append((1, at))
         return arrivals
 
     def settle_time(self) -> float:

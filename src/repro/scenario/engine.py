@@ -18,12 +18,14 @@ from ..serialize import Serializable
 from ..sim.simulator import Simulator
 from ..tor.circuit import CircuitFlow, CircuitSpec
 from .cache import PlanCache
+from .faults import FaultInjector, RelayFailure
 from .netgen import GeneratedNetwork, instantiate_network
 from .probes import ProbeSeries
 from .spec import PlannedCircuit, Scenario, ScenarioPlan, plan_scenario
 from .workloads import WorkloadRun
 
 __all__ = [
+    "CircuitFailure",
     "KindRun",
     "ScenarioCircuitSample",
     "ScenarioResult",
@@ -48,9 +50,13 @@ class ScenarioCircuitSample(Serializable):
     relays: List[str]
     payload_bytes: int
     start_time: float
-    time_to_first_byte: float
-    time_to_last_byte: float
-    goodput_bytes_per_second: float
+    #: ``None`` on a failed circuit whose first byte never arrived
+    #: (fault plane); the failure record lives in
+    #: :attr:`ScenarioResult.failures`, keyed by the same index.
+    time_to_first_byte: Optional[float]
+    #: ``None`` on a failed circuit (the last byte never arrived).
+    time_to_last_byte: Optional[float]
+    goodput_bytes_per_second: Optional[float]
     #: Seconds the source controller spent in its start-up phase;
     #: ``None`` when the transfer completed without leaving start-up.
     startup_duration: Optional[float]
@@ -58,6 +64,30 @@ class ScenarioCircuitSample(Serializable):
     departed_at: Optional[float] = None
     #: Per-message delivery latencies (interactive workloads).
     message_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """Whether the transfer finished (failed circuits have no TTLB)."""
+        return self.time_to_last_byte is not None
+
+
+@dataclass
+class CircuitFailure(Serializable):
+    """One circuit's failure record under one controller kind.
+
+    Kept beside the samples (not inside them) so fault-free results
+    stay byte-identical to pre-fault-plane golden output; join on
+    ``index``.
+    """
+
+    index: int
+    circuit_id: int
+    failed_at: float
+    #: Machine-readable cause: ``relay-failure:<relay>`` (died while
+    #: the transfer ran), ``relay-down:<relay>`` (relay already dead
+    #: before the transfer started), ``hop-broken`` (retransmission
+    #: budget exhausted), ``timeout`` (unfinished at max_sim_time).
+    cause: str
 
 
 @dataclass
@@ -75,6 +105,13 @@ class ScenarioResult(Serializable):
     probes: Dict[str, List[ProbeSeries]]
     #: controller kind -> simulator events executed for the whole run.
     events_executed: Dict[str, int]
+    #: controller kind -> failure records (fault plane; empty otherwise).
+    failures: Dict[str, List[CircuitFailure]] = field(default_factory=dict)
+    #: controller kind -> summed hop-sender transport counters
+    #: (retransmissions, timeouts, ...); only populated when the
+    #: scenario configures faults, so fault-free results keep their
+    #: pre-fault-plane shape modulo empty defaults.
+    transport_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     # --- analysis helpers -------------------------------------------------
 
@@ -113,13 +150,28 @@ class ScenarioResult(Serializable):
 
     def ttlb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
         return EmpiricalCdf(
-            [s.time_to_last_byte for s in self.of_workload(kind, workload)]
+            [
+                s.time_to_last_byte
+                for s in self.of_workload(kind, workload)
+                if s.time_to_last_byte is not None
+            ]
         )
 
     def ttfb_cdf(self, kind: str, workload: Optional[str] = None) -> EmpiricalCdf:
         return EmpiricalCdf(
-            [s.time_to_first_byte for s in self.of_workload(kind, workload)]
+            [
+                s.time_to_first_byte
+                for s in self.of_workload(kind, workload)
+                if s.time_to_first_byte is not None
+            ]
         )
+
+    def failure_rate(self, kind: str, workload: Optional[str] = None) -> float:
+        """Fraction of planned circuits that failed (0.0 fault-free)."""
+        rows = self.of_workload(kind, workload)
+        if not rows:
+            return 0.0
+        return sum(1 for s in rows if not s.completed) / len(rows)
 
     def median_improvement(self, workload: Optional[str] = None) -> float:
         """Median TTLB difference, second kind − first (positive = faster)."""
@@ -192,24 +244,29 @@ class KindRun:
             run.completed.subscribe(
                 lambda __value, index=index: self._note_done(index)
             )
+            # Failed circuits never complete; without this a single
+            # failure would keep every probe ticking to max_sim_time.
+            run.subscribe_failure(
+                lambda __run, index=index: self._note_done(index)
+            )
 
     def _note_done(self, index: int) -> None:
-        """One circuit finished: drop it from the pending set."""
+        """One circuit finished (or failed): drop it from the pending set."""
         if self._pending.pop(index, None) is not None:
             self._done_count += 1
 
     def active(self) -> bool:
         """Whether any planned circuit is still unfinished.
 
-        Equivalent to ``any(not run.done for run in self.runs)`` but
-        O(1) amortized: finished runs leave the pending set exactly
-        once (via their completion waiter, or here when the waiter's
-        callback has not been delivered yet).
+        Equivalent to ``any(not (run.done or run.failed) for run in
+        self.runs)`` but O(1) amortized: finished runs leave the
+        pending set exactly once (via their completion waiter / failure
+        hook, or here when the callback has not been delivered yet).
         """
         pending = self._pending
         while pending:
             index, run = next(iter(pending.items()))
-            if not run.done:
+            if not (run.done or run.failed):
                 return True
             # Done, waiter callback still in flight: retire it now.
             del pending[index]
@@ -239,8 +296,20 @@ def run_planned(
     samples: Dict[str, List[ScenarioCircuitSample]] = {}
     probes: Dict[str, List[ProbeSeries]] = {}
     events: Dict[str, int] = {}
+    failures: Dict[str, List[CircuitFailure]] = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    faulted = bool(scenario.faults)
     for kind in run_kinds:
-        samples[kind], probes[kind], events[kind] = _run_kind(plan, kind)
+        (
+            samples[kind],
+            probes[kind],
+            events[kind],
+            kind_failures,
+            kind_counters,
+        ) = _run_kind(plan, kind)
+        if faulted:
+            failures[kind] = kind_failures
+            counters[kind] = kind_counters
     return ScenarioResult(
         scenario=scenario,
         spec_hash=plan.spec_hash,
@@ -248,6 +317,8 @@ def run_planned(
         samples=samples,
         probes=probes,
         events_executed=events,
+        failures=failures,
+        transport_counters=counters,
     )
 
 
@@ -305,6 +376,11 @@ def _run_kind(plan: ScenarioPlan, kind: str):
             run.enable_departure()
 
     context = KindRun(sim, network, plan.bottleneck_relay, runs)
+
+    faulted = bool(scenario.faults)
+    if faulted:
+        _arm_fault_plane(sim, scenario, plan, network, runs)
+
     collectors = [
         collector
         for probe in scenario.probes
@@ -316,38 +392,137 @@ def _run_kind(plan: ScenarioPlan, kind: str):
     unfinished = [
         planned
         for planned, run in zip(plan.circuits, runs)
-        if not run.done
+        if not (run.done or run.failed)
     ]
     if unfinished:
-        raise RuntimeError(
-            "%d/%d circuits did not finish within %.1fs (kind=%s); first: "
-            "circuit %d (%s)"
-            % (
-                len(unfinished),
-                len(plan.circuits),
-                scenario.max_sim_time,
-                kind,
-                unfinished[0].index + 1,
-                scenario.workloads[unfinished[0].workload].part_name,
+        if not faulted:
+            raise RuntimeError(
+                "%d/%d circuits did not finish within %.1fs (kind=%s); first: "
+                "circuit %d (%s)"
+                % (
+                    len(unfinished),
+                    len(plan.circuits),
+                    scenario.max_sim_time,
+                    kind,
+                    unfinished[0].index + 1,
+                    scenario.workloads[unfinished[0].workload].part_name,
+                )
             )
-        )
+        # Under faults an unfinished circuit is an outcome, not a bug:
+        # loss plus a finite horizon can legitimately starve a transfer.
+        for planned, run in zip(plan.circuits, runs):
+            if not (run.done or run.failed):
+                run.fail(scenario.max_sim_time, "timeout")
 
     kind_samples = [
         _make_sample(scenario, planned, run)
         for planned, run in zip(plan.circuits, runs)
     ]
-    return kind_samples, [c.series() for c in collectors], sim.events_executed
+    kind_failures = [
+        CircuitFailure(
+            index=planned.index,
+            circuit_id=planned.index + 1,
+            failed_at=run.failed_at,
+            cause=run.failure_cause or "unknown",
+        )
+        for planned, run in zip(plan.circuits, runs)
+        if run.failed
+    ]
+    kind_counters: Dict[str, int] = {}
+    if faulted:
+        for run in runs:
+            for sender in run.flow.hop_senders:
+                for name, value in sender.counters().items():
+                    kind_counters[name] = kind_counters.get(name, 0) + value
+    return (
+        kind_samples,
+        [c.series() for c in collectors],
+        sim.events_executed,
+        kind_failures,
+        kind_counters,
+    )
+
+
+def _arm_fault_plane(
+    sim: Simulator,
+    scenario: Scenario,
+    plan: ScenarioPlan,
+    network: GeneratedNetwork,
+    runs: Sequence[WorkloadRun],
+) -> FaultInjector:
+    """Install the fault plane on a freshly built kind run.
+
+    Wires failure attribution (broken hops and relay deaths become
+    per-circuit :class:`CircuitFailure` records via ``run.fail``),
+    then arms every fault part and the plan's kill/restart schedule.
+    """
+    runs_by_id = {run.flow.spec.circuit_id: run for run in runs}
+
+    def on_circuit_broken(circuit_id: int, error: Exception) -> None:
+        run = runs_by_id.get(circuit_id)
+        if run is None:
+            return
+        now = sim.now
+        if isinstance(error, RelayFailure):
+            # A relay death fails even circuits that had not started
+            # yet (their eagerly built state is gone); distinguish the
+            # causes so the study can tell "died under me" from "was
+            # already dead".
+            if now >= run.flow.start_time:
+                cause = "relay-failure:%s" % error.relay
+            else:
+                cause = "relay-down:%s" % error.relay
+        else:
+            cause = "hop-broken"
+        run.fail(now, cause)
+
+    seen = set()
+    for run in runs:
+        for host in run.flow.hosts:
+            if id(host) not in seen:
+                seen.add(id(host))
+                host.on_circuit_broken = on_circuit_broken
+
+    injector = FaultInjector(sim, scenario, plan, network)
+    injector.arm()
+    return injector
 
 
 def _make_sample(
     scenario: Scenario, planned: PlannedCircuit, run: WorkloadRun
 ) -> ScenarioCircuitSample:
     workload = scenario.workloads[planned.workload]
+    exit_time = run.flow.source_controller.startup_exit_time
+    total_bytes = workload.total_bytes()
+    if run.failed:
+        # A failed circuit keeps whatever it measured before dying
+        # (TTFB if the first byte made it) and None for the rest; the
+        # cause lives in the result's failure records.
+        first_byte = run.first_byte_time
+        return ScenarioCircuitSample(
+            index=planned.index,
+            circuit_id=planned.index + 1,
+            generation=planned.generation,
+            workload=workload.part_name,
+            source=planned.source,
+            sink=planned.sink,
+            relays=list(planned.relays),
+            payload_bytes=total_bytes,
+            start_time=planned.start_time,
+            time_to_first_byte=(
+                None if first_byte is None else first_byte - planned.start_time
+            ),
+            time_to_last_byte=None,
+            goodput_bytes_per_second=None,
+            startup_duration=(
+                None if exit_time is None else exit_time - planned.start_time
+            ),
+            departed_at=run.departed_at,
+            message_latencies=list(run.message_latencies),
+        )
     first_byte = run.first_byte_time
     assert first_byte is not None
     ttlb = run.last_byte_time - planned.start_time
-    exit_time = run.flow.source_controller.startup_exit_time
-    total_bytes = workload.total_bytes()
     return ScenarioCircuitSample(
         index=planned.index,
         circuit_id=planned.index + 1,

@@ -36,6 +36,7 @@ from ..serialize import Serializable, SpecError
 
 __all__ = [
     "ChurnProcess",
+    "FaultProcess",
     "Probe",
     "ScenarioPart",
     "TopologySource",
@@ -251,10 +252,46 @@ class Probe(ScenarioPart):
         raise NotImplementedError
 
 
+class FaultProcess(ScenarioPart):
+    """What goes wrong while the scenario runs.
+
+    A fault process has two halves, mirroring the plan/run split:
+
+    * planning (:meth:`plan_events`) draws every randomized fault
+      decision — relay kill/restart times, loss-model seeds — **once**,
+      into the :class:`~repro.scenario.spec.ScenarioPlan`, so plans
+      stay replayable and disk-cacheable;
+    * runtime (:meth:`install`) arms the drawn events and attaches
+      fault models onto the freshly instantiated network through the
+      engine's :class:`~repro.scenario.faults.FaultInjector`.
+    """
+
+    _registry: ClassVar[Dict[str, type]] = {}
+    kind: ClassVar[str] = "fault"
+
+    def validate(self, scenario: Any) -> None:
+        """Reject fault/scenario combinations that cannot run."""
+
+    def plan_events(
+        self, scenario: Any, streams: Any, network: Any, bottleneck: Optional[str]
+    ) -> List[Any]:
+        """Draw this process's scheduled events (may be empty).
+
+        Returns :class:`~repro.scenario.faults.FaultEvent` entries; all
+        randomness must come from *streams* substreams so the plan is a
+        pure function of the spec.
+        """
+        return []
+
+    def install(self, sim: Any, injector: Any) -> None:
+        """Arm runtime state on *injector* (loss models, liveness)."""
+
+
 _KINDS: Tuple[Type[ScenarioPart], ...] = (
     TopologySource,
     Workload,
     ChurnProcess,
+    FaultProcess,
     Probe,
 )
 

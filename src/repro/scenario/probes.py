@@ -37,6 +37,7 @@ from ..sim.monitor import PeriodicSampler
 from .parts import Probe, register_part
 
 __all__ = [
+    "FailureRateProbe",
     "GoodputProbe",
     "ProbeSeries",
     "QueueDepthProbe",
@@ -232,6 +233,64 @@ class QueueDepthProbe(Probe):
         return collectors
 
 
+@register_part
+@dataclass(frozen=True)
+class FailureRateProbe(Probe):
+    """Samples the cumulative circuit failure fraction on a fixed grid.
+
+    One series per kind run (target ``"all"``, or the workload name
+    when restricted): at each tick, the fraction of this kind's planned
+    circuits that have failed so far — how adversity accumulates over
+    the run, complementing the scalar failure rate the adversity study
+    aggregates from the per-circuit samples.
+    """
+
+    interval: float = 0.25
+    #: Restrict to one workload class (registry name); ``None`` counts
+    #: every circuit.
+    workload: Optional[str] = None
+    part: str = field(default="failure-rate", init=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                "sampling interval must be positive, got %r" % self.interval
+            )
+
+    def validate(self, scenario: Any) -> None:
+        if self.workload is None:
+            return
+        names = [w.part_name for w in scenario.workloads]
+        if self.workload not in names:
+            raise ValueError(
+                "failure-rate probe restricted to workload %r, but the "
+                "scenario only carries %s" % (self.workload, ", ".join(names))
+            )
+
+    def install(self, sim: Any, context: Any) -> List[_Collector]:
+        runs = [
+            run
+            for run in context.runs
+            if self.workload is None or run.workload_name == self.workload
+        ]
+        total = len(runs)
+        target = self.workload if self.workload is not None else "all"
+
+        def probe() -> float:
+            if not total:
+                return 0.0
+            return sum(1 for run in runs if run.failed) / total
+
+        sampler = PeriodicSampler(
+            sim,
+            probe,
+            self.interval,
+            while_predicate=context.active,
+            name="failure-rate:%s" % target,
+        )
+        return [_Collector(self.part, target, sampler)]
+
+
 class _DeferredCollector:
     """A collector whose sampler is armed mid-run (at circuit start)."""
 
@@ -323,14 +382,16 @@ class GoodputProbe(Probe):
             def arm(
                 run: Any = run, collector: _DeferredCollector = collector
             ) -> None:
-                if run.done:  # completed before its own start tick: skip
+                # Completed (or already failed) before its own start
+                # tick: nothing to sample.
+                if run.done or run.failed:
                     return
                 probe = self._make_probe(run)
                 sampler = PeriodicSampler(
                     sim,
                     probe,
                     self.interval,
-                    while_predicate=lambda: not run.done,
+                    while_predicate=lambda: not (run.done or run.failed),
                     name="goodput:%s" % collector.target,
                 )
                 collector.sampler = sampler

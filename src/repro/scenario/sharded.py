@@ -167,6 +167,12 @@ def run_sharded(
     run_kinds = list(kinds) if kinds is not None else list(scenario.kinds)
     shards = max(1, int(shards))
 
+    if scenario.faults:
+        # The fault plane is whole-network state (relay liveness, link
+        # loss models, failure cascades across shard boundaries); the
+        # classic engine runs it.  Correctness over parallelism.
+        return run_planned(plan, kinds=run_kinds)
+
     components = partition_plan(plan)
     if len(components) > 1:
         _check_disjoint_probes(scenario)

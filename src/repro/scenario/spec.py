@@ -27,8 +27,9 @@ from ..transport.config import TransportConfig
 from ..units import seconds
 from .cache import PlanCache, spec_hash
 from .churn import NoChurn, stream_name
+from .faults import FaultEvent
 from .netgen import NetworkPlan
-from .parts import ChurnProcess, Probe, TopologySource, Workload
+from .parts import ChurnProcess, FaultProcess, Probe, TopologySource, Workload
 from .topology import GeneratedTopology
 from .workloads import BulkWorkload
 
@@ -61,6 +62,9 @@ class Scenario(Serializable):
     churn: ChurnProcess = field(default_factory=NoChurn)
     #: Instrumentation sampled while the scenario runs.
     probes: Tuple[Probe, ...] = ()
+    #: What goes wrong while the scenario runs (empty = pristine
+    #: network; the engine then takes the classic fault-free path).
+    faults: Tuple[FaultProcess, ...] = ()
     #: Size of the initial arrival wave (churn may add re-arrivals).
     circuit_count: int = 20
     #: Relays per circuit path.
@@ -98,6 +102,8 @@ class Scenario(Serializable):
         self.topology.validate(self)
         for probe in self.probes:
             probe.validate(self)
+        for fault in self.faults:
+            fault.validate(self)
 
 
 @dataclass
@@ -138,6 +144,9 @@ class ScenarioPlan(Serializable):
     network: NetworkPlan
     bottleneck_relay: Optional[str]
     circuits: List[PlannedCircuit]
+    #: Scheduled relay kill/restart events, time-ordered.  Drawn once
+    #: here so cached-plan reruns replay the identical fault schedule.
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     def estimated_cost(self) -> Dict[str, int]:
         """Predicted engine cost, before running anything.
@@ -250,10 +259,20 @@ def _plan_cold(
             )
         )
 
+    # Fault events draw last, on their own substreams, so arming the
+    # fault plane never perturbs the network/arrival/path draws above.
+    fault_events: List[FaultEvent] = []
+    for process in scenario.faults:
+        fault_events.extend(
+            process.plan_events(scenario, streams, network, bottleneck)
+        )
+    fault_events.sort(key=lambda event: (event.at, event.relay, event.action))
+
     return ScenarioPlan(
         scenario=scenario,
         spec_hash=key,
         network=network,
         bottleneck_relay=bottleneck,
         circuits=circuits,
+        fault_events=fault_events,
     )

@@ -27,9 +27,11 @@ and mines for the per-circuit sample.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, List, Optional
+from typing import Any, Callable, ClassVar, Dict, List, Optional
 
+from ..sim.rand import derive_seed
 from ..tor.streams import MultiStreamSink, StreamScheduler
 from ..transport.config import CELL_PAYLOAD
 from ..units import kib
@@ -38,6 +40,7 @@ from .parts import Workload, register_part
 __all__ = [
     "BulkWorkload",
     "InteractiveWorkload",
+    "RequestResponseWorkload",
     "WorkloadRun",
 ]
 
@@ -57,6 +60,10 @@ class WorkloadRun:
         #: Registry name of the workload part that attached this run;
         #: set by the engine so probes can filter by workload class.
         self.workload_name: Optional[str] = None
+        #: Failure record (fault plane): when and why the circuit died.
+        self.failed_at: Optional[float] = None
+        self.failure_cause: Optional[str] = None
+        self._failure_subscribers: List[Callable[["WorkloadRun"], None]] = []
 
     # --- completion surface (subclass responsibility) ------------------
 
@@ -90,6 +97,43 @@ class WorkloadRun:
     def message_latencies(self) -> List[float]:
         """Queue-to-delivery latency per message (interactive only)."""
         return []
+
+    # --- failures (fault plane) -----------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self.failed_at is not None
+
+    def subscribe_failure(self, callback: Callable[["WorkloadRun"], None]) -> None:
+        """Invoke *callback(run)* when this run fails (engine accounting)."""
+        self._failure_subscribers.append(callback)
+
+    def fail(self, at: float, cause: str) -> None:
+        """Mark the run failed: record the cause and release everything.
+
+        Idempotent, and a no-op on a run that already completed — a
+        relay dying after the last byte landed is not this circuit's
+        failure.  Cancels the workload's own pending timers (the
+        subclass hook), aborts the flow (cancelling a not-yet-started
+        bulk source, closing hop senders, cancelling RTO timers) and
+        notifies failure subscribers, so a failed circuit leaves no
+        dead events behind in the queue.
+        """
+        if self.failed or self.done:
+            return
+        self.failed_at = at
+        self.failure_cause = cause
+        self._cancel_pending()
+        abort = getattr(self.flow, "abort", None)
+        if abort is not None:
+            abort()
+        else:
+            self.flow.teardown()
+        for callback in list(self._failure_subscribers):
+            callback(self)
+
+    def _cancel_pending(self) -> None:
+        """Subclass hook: cancel the workload's own scheduled events."""
 
     # --- departures -----------------------------------------------------
 
@@ -173,7 +217,7 @@ class _InteractiveRun(WorkloadRun):
         self._delivered: Dict[int, float] = {}
         self.sink.on_message = self._on_message
         self._sent = 0
-        sim.schedule_at(max(flow.start_time, sim.now), self._send_next)
+        self._timer = sim.schedule_at(max(flow.start_time, sim.now), self._send_next)
 
     def _on_message(self, stream_id: int, message_id: int, at: float) -> None:
         self._delivered[message_id] = at
@@ -183,6 +227,7 @@ class _InteractiveRun(WorkloadRun):
         # delivery, like a page pulling its resources.  The final
         # message absorbs the configured remainder so the circuit's
         # total matches the declared payload exactly.
+        self._timer = None
         workload = self.workload
         size = workload.message_bytes
         if self._sent == workload.message_count - 1:
@@ -190,7 +235,12 @@ class _InteractiveRun(WorkloadRun):
         self.records.append(self.scheduler.send_message(1, size, self.sim.now))
         self._sent += 1
         if self._sent < workload.message_count:
-            self.sim.schedule(workload.message_interval, self._send_next)
+            self._timer = self.sim.schedule(workload.message_interval, self._send_next)
+
+    def _cancel_pending(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     @property
     def done(self) -> bool:
@@ -266,3 +316,133 @@ class InteractiveWorkload(Workload):
 
     def attach(self, sim: Any, flow: Any, planned: Any) -> WorkloadRun:
         return _InteractiveRun(sim, flow, self)
+
+
+class _RequestResponseRun(WorkloadRun):
+    """Closed-loop request/response exchange on one circuit.
+
+    Only the response direction carries simulated bytes (circuits are
+    unidirectional); a "request" is the instant the client decides to
+    ask again, which happens one think time after the previous response
+    fully arrived.  Unlike the open-loop interactive run, a congested
+    circuit therefore slows the *offered load* down — the closed-loop
+    coupling the adversity study needs.
+    """
+
+    def __init__(
+        self, sim: Any, flow: Any, workload: "RequestResponseWorkload", planned: Any
+    ) -> None:
+        super().__init__(flow)
+        self.sim = sim
+        self.workload = workload
+        circuit_id = flow.spec.circuit_id
+        self.scheduler = StreamScheduler(flow.hop_senders[0], circuit_id)
+        self.stream = self.scheduler.open_stream(1)
+        self.sink = MultiStreamSink(
+            sim, circuit_id, expected_bytes=workload.total_bytes()
+        )
+        flow.hosts[-1].attach_sink_app(circuit_id, self.sink)
+        self.records: List[Any] = []
+        self._delivered: Dict[int, float] = {}
+        self.sink.on_message = self._on_response
+        self._sent = 0
+        # Think times are runtime draws, but deterministic: the RNG is
+        # derived from the part's think_seed and the planned circuit
+        # index, never from global state, so reruns replay identically.
+        self._rng = random.Random(
+            derive_seed(workload.think_seed, "reqresp.%d" % planned.index)
+        )
+        self._timer = sim.schedule_at(max(flow.start_time, sim.now), self._request)
+
+    def _request(self) -> None:
+        self._timer = None
+        self.records.append(
+            self.scheduler.send_message(1, self.workload.response_bytes, self.sim.now)
+        )
+        self._sent += 1
+
+    def _on_response(self, stream_id: int, message_id: int, at: float) -> None:
+        self._delivered[message_id] = at
+        if self._sent < self.workload.request_count and not self.failed:
+            think = self._rng.expovariate(1.0 / self.workload.think_time)
+            self._timer = self.sim.schedule(think, self._request)
+
+    def _cancel_pending(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def done(self) -> bool:
+        return self.sink.done
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self.sink.received_bytes
+
+    @property
+    def completed(self) -> Any:
+        return self.sink.completed
+
+    @property
+    def first_byte_time(self) -> Optional[float]:
+        return self.sink.first_cell_time
+
+    @property
+    def last_byte_time(self) -> float:
+        return self.sink.completed.value
+
+    @property
+    def message_latencies(self) -> List[float]:
+        return [
+            self._delivered[record.message_id] - record.queued_at
+            for record in self.records
+            if record.message_id in self._delivered
+        ]
+
+
+@register_part
+@dataclass(frozen=True)
+class RequestResponseWorkload(Workload):
+    """A closed-loop exchange: each request waits for its response.
+
+    The next request is issued one exponential think time (mean
+    ``think_time``) after the previous response's last byte arrives.
+    """
+
+    weight: float = 1.0
+    #: Bytes of one response (the simulated direction).
+    response_bytes: int = kib(20)
+    #: Number of request/response exchanges per circuit.
+    request_count: int = 4
+    #: Mean think time between a response and the next request (s).
+    think_time: float = 0.2
+    #: Salt of the deterministic think-time RNG.
+    think_seed: int = 0
+    part: str = field(default="request-response", init=False)
+
+    #: The engine builds a bare flow; :meth:`attach` installs the
+    #: stream scheduler and the multi-stream sink itself.
+    flow_workload: ClassVar[str] = "none"
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("workload weight must be >= 0, got %r" % self.weight)
+        if self.response_bytes <= 0 or self.request_count <= 0:
+            raise ValueError(
+                "request/response workload needs positive response size and count"
+            )
+        if self.think_time <= 0:
+            raise ValueError(
+                "think_time must be positive, got %r" % self.think_time
+            )
+
+    def total_bytes(self) -> int:
+        return self.response_bytes * self.request_count
+
+    def estimated_cells(self) -> int:
+        """Cells are framed per response message."""
+        return -(-self.response_bytes // CELL_PAYLOAD) * self.request_count
+
+    def attach(self, sim: Any, flow: Any, planned: Any) -> WorkloadRun:
+        return _RequestResponseRun(sim, flow, self, planned)

@@ -42,9 +42,21 @@ class BulkSource:
         self.stream_id = stream_id
         self.started_at: Optional[float] = None
         self.cell_count = 0
-        sim.schedule_at(max(start_time, sim.now), self._start)
+        self._start_event = sim.schedule_at(max(start_time, sim.now), self._start)
+
+    def cancel(self) -> None:
+        """Abort the transfer before it starts (idempotent).
+
+        Needed when a circuit fails between planning and its start
+        time: enqueueing on the closed sender would re-arm its
+        retransmission timer and leave dead events behind.
+        """
+        if self._start_event is not None:
+            self._start_event.cancel()
+            self._start_event = None
 
     def _start(self) -> None:
+        self._start_event = None
         self.started_at = self.sim.now
         cells: List[DataCell] = cells_for_transfer(
             self.circuit_id, self.total_bytes, stream_id=self.stream_id

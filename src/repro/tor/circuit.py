@@ -188,6 +188,18 @@ class CircuitFlow:
         for host in self.hosts:
             host.teardown(self.spec.circuit_id)
 
+    def abort(self) -> None:
+        """Fail the flow: stop a not-yet-started source, then tear down.
+
+        Unlike a churn departure, an aborted flow may die *before* its
+        start time; the pending :class:`BulkSource` start event must be
+        cancelled or it would enqueue onto the closed sender later.
+        Idempotent, like :meth:`teardown`.
+        """
+        if self.source_app is not None:
+            self.source_app.cancel()
+        self.teardown()
+
     def trace_cwnd(self, recorder) -> None:
         """Record the source's cwnd evolution into *recorder*.
 

@@ -253,6 +253,26 @@ class TorHost:
         sender.on_broken = on_broken
         return sender
 
+    def fail_all_circuits(self, error: Exception) -> int:
+        """Tear down every live circuit through this host (relay failure).
+
+        The fault plane calls this when the underlying relay dies: each
+        circuit is cascaded through the same path as a broken hop —
+        local teardown, DESTROY toward both ends, ``on_circuit_broken``
+        notification — so neighbors and the scenario engine account for
+        the failure identically.  Sending DESTROY from a dead relay is
+        a deliberate modeling shortcut for instantaneous failure
+        detection; without it every neighbor would discover the death
+        one RTO cascade at a time.  Returns the number of circuits
+        failed.
+        """
+        failed = 0
+        for circuit_id in list(self.circuits):
+            if circuit_id in self.circuits:  # a cascade may retire peers
+                self._on_hop_broken(circuit_id, error)
+                failed += 1
+        return failed
+
     def _on_hop_broken(self, circuit_id: int, error: Exception) -> None:
         """Handle a hop sender that gave up: tear the circuit down.
 

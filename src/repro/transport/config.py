@@ -14,9 +14,16 @@ reaching into implementation modules.  Defaults follow the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import Any, Dict, List
 
-__all__ = ["TransportConfig", "CELL_SIZE", "CELL_PAYLOAD", "FEEDBACK_SIZE"]
+__all__ = [
+    "TransportConfig",
+    "TRANSPORT_PROFILES",
+    "transport_profile_names",
+    "CELL_SIZE",
+    "CELL_PAYLOAD",
+    "FEEDBACK_SIZE",
+]
 
 #: Wire size of a Tor cell in bytes (fixed by the Tor protocol).
 CELL_SIZE = 512
@@ -30,6 +37,33 @@ CELL_PAYLOAD = 498
 #: SENDME; it must be far smaller than a data cell so that the reverse
 #: direction is effectively uncongested.
 FEEDBACK_SIZE = 53
+
+#: Named transport profiles — the scenario-reachable presets of the
+#: per-hop reliability machinery.  ``"default"`` is the paper's
+#: lossless configuration (go-back-N gated off the hot path);
+#: ``"reliable"`` arms it with the stock RFC 6298 clamps; ``"lossy"``
+#: additionally shortens the cold-start timeout so the first loss on a
+#: fresh hop is recovered before it dominates the start-up phase.
+TRANSPORT_PROFILES: Dict[str, Dict[str, Any]] = {
+    "default": {},
+    "reliable": {"reliable": True},
+    "lossy": {"reliable": True, "rto_initial": 0.5},
+}
+
+
+def transport_profile_names() -> List[str]:
+    """The registered profile names, presentation order."""
+    return list(TRANSPORT_PROFILES)
+
+
+def _lookup_profile(name: str) -> Dict[str, Any]:
+    try:
+        return TRANSPORT_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown transport profile %r (known: %s)"
+            % (name, ", ".join(transport_profile_names()))
+        )
 
 
 @dataclass(frozen=True)
@@ -151,6 +185,23 @@ class TransportConfig:
     def with_(self, **changes: Any) -> "TransportConfig":
         """A copy of this config with *changes* applied (sweep helper)."""
         return replace(self, **changes)
+
+    @classmethod
+    def profile(cls, name: str, **overrides: Any) -> "TransportConfig":
+        """A fresh config from the named profile, plus *overrides*."""
+        changes = dict(_lookup_profile(name))
+        changes.update(overrides)
+        return cls(**changes)
+
+    def with_profile(self, name: str) -> "TransportConfig":
+        """This config with the named profile's settings applied on top.
+
+        Keeps every tunable the caller already set (cell sizes, window
+        parameters) and switches only the fields the profile names —
+        how the adversity experiments promote an existing scenario's
+        transport to the reliable configuration.
+        """
+        return replace(self, **_lookup_profile(name))
 
     def cells_for_payload(self, nbytes: int) -> int:
         """Number of DATA cells needed to carry *nbytes* of payload."""

@@ -179,6 +179,23 @@ class HopSender:
         self.controller.on_cell_sent(now)
         self._transmit(cell, token)
 
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of this hop's transport counters.
+
+        The scenario engine sums these across a run's hop senders to
+        report per-kind retransmission/timeout totals alongside the
+        latency metrics.
+        """
+        return {
+            "cells_sent": self.cells_sent,
+            "feedback_received": self.feedback_received,
+            "duplicate_feedback": self.duplicate_feedback,
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "max_buffer_depth": self.max_buffer_depth,
+            "broken": int(self.broken),
+        }
+
     def close(self) -> None:
         """Release the hop: drop pending work and disarm the timer.
 

@@ -230,7 +230,7 @@ def test_scenario_list_json(capsys):
     rows = json.loads(capsys.readouterr().out)
     assert code == 0
     kinds = {row["kind"] for row in rows}
-    assert kinds == {"topology", "workload", "churn", "probe"}
+    assert kinds == {"topology", "workload", "churn", "fault", "probe"}
 
 
 def test_scenario_run_from_spec_file(tmp_path, capsys):
@@ -369,3 +369,62 @@ def test_cache_info_without_directory_fails(capsys, monkeypatch):
     code = main(["cache", "info"])
     assert code == 2
     assert "REPRO_PLAN_CACHE" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro report DIR — checkpointed sweep state
+# ----------------------------------------------------------------------
+
+
+def _checkpointed_adversity_sweep(tmp_path):
+    from repro.experiments.adversity import AdversityStudyConfig, run_adversity_study
+    from repro.experiments.netgen import NetworkConfig
+    from repro.units import kib
+
+    checkpoint = str(tmp_path / "adversity-ckpt")
+    spec = AdversityStudyConfig(
+        loss_rates=(0.0, 0.02),
+        relay_mttfs=(0.0,),
+        arrival_rate=2.0,
+        circuit_count=4,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        start_window=1.0,
+        horizon=3.0,
+        network=NetworkConfig(relay_count=8, client_count=6, server_count=6),
+    ).with_checkpoint(checkpoint)
+    run_adversity_study(spec)
+    return checkpoint
+
+
+def test_report_checkpoint_dir_renders_partial_state(tmp_path, capsys):
+    checkpoint = _checkpointed_adversity_sweep(tmp_path)
+    capsys.readouterr()
+
+    code = main(["report", checkpoint])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "checkpointed sweep" in out
+    assert "2/2 done, 0 failed" in out
+    assert "scenario" in out  # grid points run as scenario jobs
+
+
+def test_report_checkpoint_dir_json(tmp_path, capsys):
+    import json
+
+    checkpoint = _checkpointed_adversity_sweep(tmp_path)
+    capsys.readouterr()
+
+    code = main(["report", checkpoint, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["done"] == payload["total"] == 2
+    assert payload["failed"] == 0
+    assert len(payload["items"]) == 2
+    assert all(item["experiment"] == "scenario" for item in payload["items"])
+
+
+def test_report_checkpoint_dir_missing(capsys):
+    code = main(["report", "/nonexistent/checkpoint-dir"])
+    assert code == 2
+    assert "no such checkpoint directory" in capsys.readouterr().err

@@ -37,6 +37,7 @@ EXPECTED_NAMES = [
     "optimal",
     "netscale",
     "churn-study",
+    "adversity-study",
     "scenario",
 ]
 
@@ -97,6 +98,21 @@ def fast_spec(name):
         return ChurnStudyConfig(
             rates=(2.0, 6.0),
             circuit_count=6,
+            bulk_payload_bytes=kib(60),
+            interactive_payload_bytes=kib(10),
+            start_window=1.0,
+            horizon=3.0,
+            network=NetworkConfig(relay_count=8, client_count=6,
+                                  server_count=6),
+        )
+    if name == "adversity-study":
+        from repro.experiments.adversity import AdversityStudyConfig
+
+        return AdversityStudyConfig(
+            loss_rates=(0.0, 0.02),
+            relay_mttfs=(0.0,),
+            arrival_rate=2.0,
+            circuit_count=4,
             bulk_payload_bytes=kib(60),
             interactive_payload_bytes=kib(10),
             start_window=1.0,

@@ -1,0 +1,113 @@
+"""Pre-fault-plane golden pins for the existing experiments.
+
+The fault plane refactor threads a ``FaultModel`` hook through every
+transmission, failure bookkeeping through every workload run, and new
+``faults``/``fault_events`` fields through the scenario spec and plan.
+These tests pin the acceptance criterion that all of it is *invisible*
+when unconfigured: the canonical JSON of the ``cdf``, ``netscale`` and
+``churn-study`` experiments must match the golden files captured
+before the refactor — byte for byte, serial and pooled, against a cold
+and a warm disk plan cache.
+
+The golden files live in ``tests/golden/`` and are regenerated only
+deliberately (a conscious format change), never by test code.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import CdfConfig, ChurnStudyConfig, NetScaleConfig
+from repro.experiments.netgen import NetworkConfig
+from repro.experiments.registry import get_experiment
+from repro.experiments.runner import BatchJob, run_batch
+from repro.units import kib
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _network():
+    return NetworkConfig(relay_count=8, client_count=6, server_count=6)
+
+
+def golden_cdf():
+    return CdfConfig(
+        circuit_count=6,
+        payload_bytes=kib(60),
+        network=_network(),
+    )
+
+
+def golden_netscale():
+    return NetScaleConfig(
+        circuit_count=6,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        start_window=1.0,
+        network=_network(),
+    )
+
+
+def golden_churn_study():
+    return ChurnStudyConfig(
+        rates=(2.0, 6.0),
+        circuit_count=6,
+        bulk_payload_bytes=kib(60),
+        interactive_payload_bytes=kib(10),
+        start_window=1.0,
+        horizon=3.0,
+        network=_network(),
+    )
+
+
+CASES = [
+    ("cdf", golden_cdf, "cdf.json"),
+    ("netscale", golden_netscale, "netscale.json"),
+    ("churn-study", golden_churn_study, "churn_study.json"),
+]
+
+
+def _golden(filename: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, filename)) as handle:
+        return json.dumps(json.load(handle), sort_keys=True)
+
+
+def _canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("name,build,filename", CASES)
+def test_serial_matches_pre_refactor_golden(name, build, filename):
+    result = get_experiment(name).run(build())
+    assert _canonical(result) == _golden(filename)
+
+
+@pytest.mark.parametrize("name,build,filename", CASES)
+def test_pooled_cold_then_warm_disk_cache_match_golden(
+    name, build, filename, tmp_path
+):
+    """Pool workers (fresh processes, so genuinely cold in-memory
+    caches) against a cold disk tier, then again against the warm one
+    the first sweep populated — all byte-identical to the golden."""
+    cache_dir = str(tmp_path / "plan-cache")
+    golden = _golden(filename)
+    for pass_name in ("cold", "warm"):
+        batch = run_batch(
+            [BatchJob(experiment=name, spec=build())],
+            workers=2,
+            plan_cache_dir=cache_dir,
+        )
+        assert not batch.items[0].failed, pass_name
+        assert _canonical(batch.items[0].result_object()) == golden, pass_name
+
+
+@pytest.mark.parametrize("name,build,filename", CASES)
+def test_serial_warm_disk_cache_matches_golden(name, build, filename, tmp_path):
+    from repro.scenario.cache import DEFAULT_CACHE, attached_disk_tier
+
+    cache_dir = str(tmp_path / "plan-cache")
+    with attached_disk_tier(DEFAULT_CACHE, cache_dir):
+        get_experiment(name).run(build())  # populate the disk tier
+        result = get_experiment(name).run(build())
+    assert _canonical(result) == _golden(filename)

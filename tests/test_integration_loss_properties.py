@@ -7,8 +7,11 @@ the defining property of per-hop reliability.
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.net.faults import BernoulliLossModel, install_fault_model
 from repro.net.queues import ScriptedLossQueue
 from repro.sim.simulator import Simulator
 from repro.transport.config import CELL_PAYLOAD, TransportConfig
@@ -77,3 +80,49 @@ def test_property_simultaneous_data_and_feedback_loss(drops_forward, drops_rever
     sim.run_until(120.0)
     assert flow.done
     assert flow.sink.received_bytes == flow.payload_bytes
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    loss_rate=st.floats(min_value=0.0, max_value=0.2),
+    link_index=st.integers(min_value=0, max_value=len(LINKS) - 1),
+)
+def test_property_seeded_bernoulli_fault_plane_recovers(
+    seed, loss_rate, link_index
+):
+    """Seeded Bernoulli loss via the fault plane: full in-order delivery.
+
+    Unlike the scripted-queue tests above, the loss here rides the new
+    per-interface ``fault_model`` hook — the same plane the adversity
+    scenarios use — with an explicitly seeded RNG, so any failure is
+    replayable from (seed, loss_rate, link_index) alone.
+    """
+    payload_cells = 20
+    sim = Simulator()
+    flow, topology, __ = make_chain_flow(
+        sim, payload_bytes=payload_cells * CELL_PAYLOAD, config=RELIABLE
+    )
+    interface = topology._interface_between(*LINKS[link_index])
+    model = install_fault_model(
+        interface, BernoulliLossModel(random.Random(seed), loss_rate)
+    )
+
+    offsets = []
+    original = flow.sink.on_cell
+
+    def spy(cell):
+        offsets.append(cell.offset)
+        original(cell)
+
+    flow.sink.on_cell = spy
+    sim.run_until(300.0)
+
+    assert flow.done
+    assert flow.sink.received_bytes == flow.payload_bytes
+    # Exactly-once, in-order delivery despite every dropped packet.
+    assert offsets == sorted(offsets)
+    assert len(offsets) == len(set(offsets)) == payload_cells
+    if model.packets_dropped:
+        assert model.packets_seen > model.packets_dropped

@@ -495,7 +495,7 @@ def test_teardown_keeps_hosts_clean():
 
     scenario = churn_scenario(circuit_count=3)
     plan = plan_scenario(scenario)
-    samples, __, ___ = _run_kind(plan, "with")
+    samples, __, ___, ____, _____ = _run_kind(plan, "with")
     assert all(s.departed_at is not None for s in samples)
 
 
@@ -651,6 +651,11 @@ def test_kindrun_active_tracks_completions_exactly():
         def finish(self, at: float) -> None:
             self._done = True
             self.completed.trigger(at)
+
+        failed = False
+
+        def subscribe_failure(self, callback) -> None:
+            pass
 
     runs = [FakeRun() for __ in range(3)]
     context = KindRun(sim, network=None, bottleneck_relay=None, runs=runs)

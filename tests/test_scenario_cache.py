@@ -22,6 +22,7 @@ from repro.scenario import (
     NoChurn,
     OpenLoopChurn,
     PlanCache,
+    RelayChurnFaults,
     Scenario,
     UtilizationProbe,
     plan_scenario,
@@ -139,6 +140,7 @@ def test_spec_hash_changes_on_any_field_change():
         "seed": base.seed + 1,
         "max_sim_time": seconds(90.0),
         "rng_namespace": "other",
+        "faults": (RelayChurnFaults(mttf=2.0),),
     }
     spec_fields = {f.name for f in fields(Scenario)}
     # Every field except transport is exercised above; transport gets a
