@@ -163,6 +163,7 @@ class CheckStats(Serializable):
     max_depth_reached: int = 0
     elapsed_seconds: float = 0.0
     por: bool = True
+    symmetry: bool = False
     truncated: bool = False
 
 
@@ -205,6 +206,7 @@ class _Frame:
 def explore(
     config: CheckConfig,
     por: bool = True,
+    symmetry: bool = False,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
     sample_schedules: int = 0,
@@ -220,6 +222,13 @@ def explore(
         Enable the sleep-set reduction.  ``False`` explores the full
         transition graph (same states, more transitions) — the
         cross-check mode.
+    symmetry:
+        Hash states through
+        :meth:`~repro.check.model.ModelState.canonical_symmetric`:
+        permutations of structurally identical interior hops share one
+        cache entry.  A heuristic quotient (see that method's caveat),
+        so it is opt-in; with fewer than three hops it changes
+        nothing.
     max_states / max_depth:
         Optional exploration bounds; hitting either sets
         ``stats.truncated`` (the verdict is then a bounded check, not
@@ -238,7 +247,9 @@ def explore(
         can themselves be tested.
     """
     started = time.monotonic()
-    stats = CheckStats(por=por)
+    stats = CheckStats(por=por, symmetry=symmetry)
+    canonical_key = (ModelState.canonical_symmetric if symmetry
+                     else ModelState.canonical)
     violations: List[Counterexample] = []
     samples: List[Schedule] = []
     rng = random.Random(seed)
@@ -295,7 +306,7 @@ def explore(
     root.injected_bug = _injected_bug
     path: List[Action] = []
     stack: List[_Frame] = []
-    seen[root.canonical()] = 0
+    seen[canonical_key(root)] = 0
     n_states += 1
     for name, detail in state_violations(root):
         record_violation(name, detail, path)
@@ -358,7 +369,7 @@ def explore(
         if depth > max_depth_reached:
             max_depth_reached = depth
         # --- child arrival, inlined (once per transition). ---
-        key = child.canonical()
+        key = canonical_key(child)
         stored = seen_get(key)
         if stored is None:
             n_states += 1

@@ -411,6 +411,42 @@ class ModelState:
             append(key)
         return tuple(parts)
 
+    def canonical_symmetric(self) -> Tuple[Any, ...]:
+        """:meth:`canonical` quotiented by permutation of the interior
+        hop positions (a middle relay's whole column: hop sender,
+        receiver, forward and reverse channel).
+
+        Interior hops are structurally identical — same window config,
+        same relay pump — so states differing only in *which* middle
+        position holds a given column fragment are merged by sorting
+        the interior columns into a canonical order.  This is a
+        heuristic quotient, not an exact automorphism (hop ``i`` feeds
+        hop ``i+1``, so position does matter dynamically): it can merge
+        states a position-faithful exploration would keep apart, which
+        shrinks the represented space but never skips the invariant
+        check on any state the exploration *does* reach.  Endpoint
+        columns (the source at 0, the exit at ``hops-1``) keep their
+        positions.  Below three hops there is no interior pair and the
+        key degenerates to :meth:`canonical` exactly.
+        """
+        base = self.canonical()
+        hops = self.config.hops
+        if hops < 3:
+            return base
+        hop_keys = base[3:3 + hops]
+        recvs = base[3 + hops:3 + 2 * hops]
+        fwd = base[3 + 2 * hops:3 + 3 * hops]
+        rev = base[3 + 3 * hops:]
+        columns = [
+            (hop_keys[i], recvs[i], fwd[i], rev[i]) for i in range(hops)
+        ]
+        # key=repr: column fragments mix ints, None and tuples, which
+        # do not compare directly.
+        interior = sorted(columns[1:hops - 1], key=repr)
+        return base[:3] + tuple(
+            [columns[0]] + interior + [columns[hops - 1]]
+        )
+
     # ------------------------------------------------------------------
     # Observations
     # ------------------------------------------------------------------

@@ -213,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-por", action="store_true",
                        help="disable the sleep-set partial-order "
                             "reduction (cross-check mode)")
+    check.add_argument("--symmetry", action="store_true",
+                       help="canonicalize state hashes under permutation "
+                            "of structurally identical interior hops "
+                            "(heuristic reduction; every represented "
+                            "state is still invariant-checked)")
     check.add_argument("--replay", type=int, default=25, metavar="N",
                        help="re-execute N sampled schedules against the "
                             "real engine (default 25; 0 disables)")
@@ -225,6 +230,25 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true",
                        help="machine-readable result instead of the "
                             "text report")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of the package's own determinism and "
+             "serialization contracts",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (e.g. DET001,ARCH001), "
+             "or 'list' to print the rule catalog and exit",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings instead of the "
+                           "text report")
 
     return parser
 
@@ -756,6 +780,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     result = explore(
         config,
         por=not args.no_por,
+        symmetry=args.symmetry,
         max_states=args.max_states,
         max_depth=args.max_depth,
         sample_schedules=args.replay,
@@ -798,8 +823,54 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the determinism & contracts static analysis.
+
+    Exit codes match ``repro check``: 0 clean, 1 findings, 2 usage.
+    """
+    from .lint import ALL_RULES, run_lint, rules_by_id
+
+    if args.rules == "list":
+        for rule in ALL_RULES:
+            print("%s  %s" % (rule.id, rule.title))
+            print("        scope: %s" % rule.scope)
+        return 0
+    rules = list(ALL_RULES)
+    if args.rules is not None:
+        registry = rules_by_id()
+        selected = [part.strip() for part in args.rules.split(",")
+                    if part.strip()]
+        unknown = [rule_id for rule_id in selected
+                   if rule_id not in registry]
+        if unknown or not selected:
+            print("lint: unknown rule id(s): %s (try --rules list)"
+                  % (", ".join(unknown) or "<none given>"),
+                  file=sys.stderr)
+            return 2
+        rules = [registry[rule_id] for rule_id in selected]
+    paths = args.paths
+    if not paths:
+        # Default to the package's own source tree.
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        report = run_lint(paths, rules)
+    except FileNotFoundError as error:
+        print("lint: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print("%d finding(s) in %d module(s), %d rule(s)"
+              % (len(report.findings), report.modules_checked,
+                 len(report.rules)))
+    return 0 if report.ok else 1
+
+
 _BUILTIN_COMMANDS = {
     "check": _cmd_check,
+    "lint": _cmd_lint,
     "list": _cmd_list,
     "batch": _cmd_batch,
     "serve": _cmd_serve,

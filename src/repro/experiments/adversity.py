@@ -685,7 +685,7 @@ class AdversityStudyExperiment(Experiment):
                 raise SpecError(
                     "%s expects comma-separated numbers, got %r"
                     % (flag, text)
-                )
+                ) from None
 
         loss_rates = parse_grid(args.loss_rates, "--loss-rates")
         mttfs = parse_grid(args.mttfs, "--mttfs")
@@ -712,7 +712,7 @@ class AdversityStudyExperiment(Experiment):
                 spec = spec.with_checkpoint(args.checkpoint, args.resume)
             return spec
         except ValueError as error:
-            raise SpecError(str(error))
+            raise SpecError(str(error)) from error
 
     def render(self, result: AdversityStudyResult) -> str:
         from ..report import format_table

@@ -485,7 +485,7 @@ class ChurnStudyExperiment(Experiment):
         except ValueError:
             raise SpecError(
                 "--rates expects comma-separated numbers, got %r" % args.rates
-            )
+            ) from None
         try:
             return ChurnStudyConfig(
                 rates=rates,
@@ -507,7 +507,7 @@ class ChurnStudyExperiment(Experiment):
             # Config validation (negative/duplicate rates, bad horizon,
             # workers < 1, ...) becomes a clean exit-2 message, not a
             # traceback.
-            raise SpecError(str(error))
+            raise SpecError(str(error)) from error
 
     def render(self, result: ChurnStudyResult) -> str:
         from ..report import format_table

@@ -1,0 +1,358 @@
+"""The rule framework behind ``repro lint``.
+
+A static-analysis pass over the package's own source enforcing the
+contracts the golden pins only sample: determinism (all randomness from
+injected substreams, no wall clocks in simulated paths), serialization
+round-trippability of registered specs, envelope discipline for on-disk
+artifacts, and import layering.  The concrete rules live in
+:mod:`repro.lint.rules`; this module provides the machinery:
+
+* :class:`ModuleInfo` — one parsed source file (path, package-relative
+  path, source lines, AST, suppressions);
+* :class:`Project` — every module of one lint run, for cross-module
+  rules (SER001 resolves type names project-wide, ARCH001 maps import
+  targets to layers);
+* :class:`Rule` — the per-rule base: an id, a one-line title, a
+  path-scope predicate (:meth:`Rule.applies_to`) and a checker
+  yielding ``(line, message)`` pairs;
+* :func:`run_lint` — the driver: collect files, parse, run the
+  selected rules, apply inline suppressions, and report stale ones.
+
+Suppressions are inline comments on the flagged line::
+
+    now = time.time()  # repro: allow[DET002] wall-clock lock staleness
+
+Several ids may share one comment (``allow[DET001,DET002]``).  A
+suppression that matches no finding of its rule is itself reported
+(:data:`STALE_RULE_ID`), so suppressions cannot outlive the code they
+excuse; naming a rule the registry does not know is reported the same
+way.  Files that fail to parse are reported under
+:data:`PARSE_RULE_ID`.  Neither meta rule can be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..serialize import Serializable
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "PARSE_RULE_ID",
+    "Project",
+    "Rule",
+    "STALE_RULE_ID",
+    "Suppression",
+    "collect_files",
+    "run_lint",
+]
+
+#: Meta rule id for stale or unknown suppressions.
+STALE_RULE_ID = "LINT001"
+#: Meta rule id for files the parser rejects.
+PARSE_RULE_ID = "LINT002"
+
+#: The inline suppression comment: "repro:" then "allow[RULE]" (one or
+#: more comma-separated ids), then an optional justification.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding(Serializable):
+    """One rule violation at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return "%s:%d: %s %s" % (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class Suppression:
+    """One inline ``# repro: allow[RULE]`` annotation."""
+
+    rule: str
+    line: int
+    justification: str
+    used: bool = False
+
+
+class ModuleInfo:
+    """One parsed source file of a lint run.
+
+    ``pkgpath`` is the path relative to the innermost enclosing
+    ``repro`` package directory (``scenario/cache.py``,
+    ``serialize.py``), which is what rules scope on — so a temporary
+    tree laid out as ``<tmp>/repro/<subpackage>/…`` (the teeth tests)
+    scopes identically to the installed package.  Files outside any
+    ``repro`` directory fall back to their basename.
+    """
+
+    def __init__(self, path: str, display: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.pkgpath = package_relpath(path)
+        #: line -> suppressions declared on that line.  Scanned from
+        #: real comment tokens, so the syntax can be quoted in strings
+        #: and docstrings (this module does) without registering.
+        self.suppressions: Dict[int, List[Suppression]] = {}
+        for number, text in _comments(source):
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            rules = [part.strip() for part in match.group(1).split(",")]
+            entry = self.suppressions.setdefault(number, [])
+            entry.extend(
+                Suppression(rule, number, match.group(2).strip())
+                for rule in rules if rule
+            )
+
+    @property
+    def package(self) -> str:
+        """The first-level subpackage (``"scenario"``), or ``""`` for
+        top-level modules (``cli.py``, ``serialize.py``)."""
+        head, sep, __ = self.pkgpath.partition("/")
+        return head if sep else ""
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Consume a suppression for *rule* at *line*, if one exists."""
+        for suppression in self.suppressions.get(line, ()):
+            if suppression.rule == rule:
+                suppression.used = True
+                return True
+        return False
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """``(line, text)`` for every comment token in *source*.
+
+    Callers only see sources that already parsed, but tokenization can
+    still trip over trailing-newline quirks; truncating the scan there
+    is safer than failing the whole module.
+    """
+    readline = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def package_relpath(path: str) -> str:
+    """*path* relative to the innermost ``repro`` directory above it."""
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    tail = parts[:-1]
+    for index in range(len(tail) - 1, -1, -1):
+        if tail[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return parts[-1]
+
+
+class Project:
+    """Every module of one lint run, indexed for cross-module rules."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self.by_pkgpath: Dict[str, ModuleInfo] = {
+            module.pkgpath: module for module in self.modules
+        }
+        self._class_names: Optional[
+            Dict[str, List[Tuple[ModuleInfo, ast.ClassDef]]]
+        ] = None
+
+    def class_defs(self, name: str) -> List[Tuple[ModuleInfo, ast.ClassDef]]:
+        """Every ``(module, class definition)`` pair named *name*."""
+        if self._class_names is None:
+            index: Dict[str, List[Tuple[ModuleInfo, ast.ClassDef]]] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.ClassDef):
+                        index.setdefault(node.name, []).append(
+                            (module, node)
+                        )
+            self._class_names = index
+        return self._class_names.get(name, [])
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id`, :attr:`title` and :attr:`scope` (the
+    human-readable applicability, shown by ``repro lint --rules list``),
+    override :meth:`applies_to` to scope by package path, and implement
+    :meth:`check` to yield ``(line, message)`` pairs.
+    """
+
+    id: str = ""
+    title: str = ""
+    scope: str = "every module"
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo,
+              project: Project) -> Iterator[Tuple[int, str]]:
+        """Yield ``(line, message)`` findings for *module*.
+
+        A cross-module rule may instead yield ``(other_module, line,
+        message)`` to attribute a finding to a different file (SER001
+        reports a bad field where the dataclass is *defined*, which
+        need not be where it is registered).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Rule %s: %s>" % (self.id, self.title)
+
+
+@dataclass
+class LintReport(Serializable):
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    modules_checked: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Iterable[str]) -> List[str]:
+    """Every ``.py`` file under *paths* (files kept as-is), sorted.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist —
+    a mistyped path must not silently lint nothing.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(os.path.abspath(path))
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                files.extend(
+                    os.path.abspath(os.path.join(root, name))
+                    for name in sorted(names) if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError("no such file or directory: %s" % path)
+    # De-duplicate while keeping deterministic order.
+    seen = set()
+    unique = []
+    for path in sorted(files):
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: str) -> str:
+    """*path* relative to the working directory when it is beneath it."""
+    relative = os.path.relpath(path)
+    return path if relative.startswith("..") else relative
+
+
+def run_lint(
+    paths: Iterable[str],
+    rules: Sequence[Rule],
+) -> LintReport:
+    """Run *rules* over every Python file under *paths*.
+
+    Findings are sorted by ``(path, line, rule)``.  Suppressions are
+    honoured per rule and line; afterwards, every suppression naming a
+    rule this run selected (or a rule the registry does not know at
+    all) that excused nothing is reported as :data:`STALE_RULE_ID`.
+    """
+    from .rules import ALL_RULES
+
+    known_ids = {rule.id for rule in ALL_RULES}
+    selected_ids = {rule.id for rule in rules}
+    findings: List[Finding] = []
+    modules: List[ModuleInfo] = []
+    for path in collect_files(paths):
+        display = _display_path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", None) or 1
+            findings.append(Finding(
+                rule=PARSE_RULE_ID, path=display, line=line,
+                message="cannot parse: %s" % error,
+            ))
+            continue
+        modules.append(ModuleInfo(path, display, source, tree))
+
+    project = Project(modules)
+    # Phase one: every selected rule over every module.  Cross-module
+    # rules may attribute findings (and consume suppressions) in a
+    # module processed earlier, so staleness is judged only afterwards.
+    seen_findings = set()
+    for module in modules:
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            for item in rule.check(module, project):
+                if len(item) == 3:
+                    target, line, message = item
+                else:
+                    line, message = item
+                    target = module
+                if target.suppressed(rule.id, line):
+                    continue
+                key = (rule.id, target.path, line, message)
+                if key in seen_findings:
+                    continue
+                seen_findings.add(key)
+                findings.append(Finding(
+                    rule=rule.id, path=target.display, line=line,
+                    message=message,
+                ))
+    # Phase two: suppressions that excused nothing are findings too.
+    for module in modules:
+        for entries in module.suppressions.values():
+            for suppression in entries:
+                if suppression.used:
+                    continue
+                if suppression.rule not in known_ids:
+                    findings.append(Finding(
+                        rule=STALE_RULE_ID, path=module.display,
+                        line=suppression.line,
+                        message="suppression names unknown rule %r"
+                                % suppression.rule,
+                    ))
+                elif suppression.rule in selected_ids:
+                    findings.append(Finding(
+                        rule=STALE_RULE_ID, path=module.display,
+                        line=suppression.line,
+                        message="stale suppression: no %s finding on "
+                                "this line" % suppression.rule,
+                    ))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(
+        findings=findings,
+        modules_checked=len(modules),
+        rules=sorted(selected_ids),
+    )

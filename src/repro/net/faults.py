@@ -22,6 +22,8 @@ substream per interface from the scenario seed).  Ships with:
   packets serialized later;
 * :class:`ScriptedLossModel` — drops an explicit set of packet indices
   (deterministic tests and model-schedule replay);
+* :class:`FilteredFaultModel` — gates an inner model behind a packet
+  predicate (trunk-only faults select on src/dst node names);
 * :class:`CompositeFaultModel` — chains models; first drop wins, extra
   delays add.
 """
@@ -29,13 +31,14 @@ substream per interface from the scenario seed).  Ships with:
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 __all__ = [
     "BernoulliLossModel",
     "BoundedReorderModel",
     "CompositeFaultModel",
     "FaultModel",
+    "FilteredFaultModel",
     "GilbertElliottModel",
     "ScriptedLossModel",
     "install_fault_model",
@@ -192,6 +195,34 @@ class ScriptedLossModel(FaultModel):
         self._index += 1
         if index in self.drop_indices:
             return self._drop()
+        return self._pass()
+
+
+class FilteredFaultModel(FaultModel):
+    """Applies an inner model only to packets matching a predicate.
+
+    Non-matching packets pass untouched (and never advance the inner
+    model's RNG, so adding a filtered model to an interface does not
+    perturb the draw sequence other traffic sees).  The scenario layer
+    uses this for trunk-only faults on a star topology, where relay-to-
+    relay traffic shares physical interfaces with access traffic: the
+    predicate selects by the packet's src/dst node names.
+    """
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 inner: FaultModel) -> None:
+        super().__init__()
+        self.predicate = predicate
+        self.inner = inner
+
+    def on_transmit(self, packet: Any) -> float:
+        if not self.predicate(packet):
+            return self._pass()
+        verdict = self.inner.on_transmit(packet)
+        if verdict < 0.0:
+            return self._drop()
+        if verdict > 0.0:
+            return self._delay(verdict)
         return self._pass()
 
 

@@ -323,7 +323,7 @@ class DiskPlanCache:
         entries = []
         total = 0
         stale_after = max(self.lock_timeout, 60.0)
-        now = time.time()
+        now = time.time()  # repro: allow[DET002] host-facing mtime staleness, not simulated time
         for kind in self._KINDS:
             kind_dir = self._kind_dir(kind)
             try:
@@ -418,13 +418,13 @@ class DiskPlanCache:
         one disk hit on success, one miss on giving up.
         """
         lock = self._lock_path(kind, key)
-        deadline = time.monotonic() + self.lock_timeout
+        deadline = time.monotonic() + self.lock_timeout  # repro: allow[DET002] host lock timeout, not simulated time
         while True:
             value = self._load(kind, key)
             if value is not None:
                 self._count(kind, hit=True)
                 return value
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= deadline:  # repro: allow[DET002] host lock timeout, not simulated time
                 break
             if not os.path.exists(lock):
                 # Writer released (or died) without publishing: one

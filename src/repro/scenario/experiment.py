@@ -18,8 +18,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
-from ..experiments.api import Experiment, SpecError
-from ..experiments.registry import register_experiment
+from ..experiments.api import Experiment, SpecError  # repro: allow[ARCH001] imported by repro.experiments, not scenario/__init__; the bridge module sits above both layers
+from ..experiments.registry import register_experiment  # repro: allow[ARCH001] same bridge: keeps scenario importable without the experiment harnesses
 from .cache import DEFAULT_CACHE
 from .engine import ScenarioResult, run_scenario
 from .spec import Scenario, plan_scenario
@@ -61,11 +61,11 @@ class ScenarioExperiment(Experiment):
             with open(args.spec) as handle:
                 data = json.load(handle)
         except OSError as error:
-            raise SpecError("cannot read scenario spec: %s" % error)
+            raise SpecError("cannot read scenario spec: %s" % error) from error
         except json.JSONDecodeError as error:
             raise SpecError(
                 "scenario spec %s is not valid JSON: %s" % (args.spec, error)
-            )
+            ) from error
         return Scenario.from_dict(data)
 
     def render(self, result: ScenarioResult) -> str:

@@ -35,6 +35,7 @@ from ..net.faults import (
     BernoulliLossModel,
     BoundedReorderModel,
     FaultModel,
+    FilteredFaultModel,
     GilbertElliottModel,
     install_fault_model,
 )
@@ -89,14 +90,17 @@ class FaultEvent(Serializable):
 @register_part
 @dataclass(frozen=True)
 class LinkFaults(FaultProcess):
-    """Channel impairment on every relay access link.
+    """Channel impairment on the overlay's links.
 
-    Applied to both directions of each relay's access link (relay→hub
-    and hub→relay); endpoint access links stay clean, mirroring the
-    usual assumption that adversity lives in the overlay, not at the
-    user's modem.  Each interface gets its own RNG derived from the
-    scenario seed and the link's endpoint names — independent links,
-    and identical loss patterns for the "with" and "without" kinds.
+    By default (``links="access"``) applied to both directions of each
+    relay's access link (relay→hub and hub→relay); endpoint access
+    links stay clean, mirroring the usual assumption that adversity
+    lives in the overlay, not at the user's modem.  ``links="trunk"``
+    impairs only inter-relay traffic; ``links="all"`` adds the
+    client/server endpoint links.  Each interface gets its own RNG
+    derived from the scenario seed and the link's endpoint names —
+    independent links, and identical loss patterns for the "with" and
+    "without" kinds.
     """
 
     #: Per-packet loss probability (``model="bernoulli"``), or the
@@ -111,11 +115,22 @@ class LinkFaults(FaultProcess):
     reorder_rate: float = 0.0
     #: Maximum extra delay of a held-back packet (seconds).
     max_extra_delay: float = 0.005
+    #: Which links carry the impairment: ``"access"`` (relay access
+    #: links, the historical behavior), ``"trunk"`` (inter-relay
+    #: traffic only, selected by src/dst since the star topology has no
+    #: dedicated trunk wires), or ``"all"`` (relay access links plus
+    #: the client/server endpoint links).
+    links: str = "access"
     part: str = field(default="link-faults", init=False)
 
     def validate(self, scenario: Any) -> None:
         if self.model not in ("bernoulli", "gilbert"):
             raise ValueError("unknown loss model %r" % self.model)
+        if self.links not in ("access", "trunk", "all"):
+            raise ValueError(
+                "links must be 'access', 'trunk' or 'all', got %r"
+                % self.links
+            )
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1), got %r" % self.loss_rate)
         if not 0.0 <= self.reorder_rate < 1.0:
@@ -324,14 +339,54 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def install_link_faults(self, part: LinkFaults) -> None:
-        """Attach *part*'s models to every relay access link direction."""
+        """Attach *part*'s models per its ``links`` selector.
+
+        ``"access"`` keeps the historical labels and install order
+        exactly, so the per-interface RNG substreams — and therefore
+        every draw an existing scenario makes — are unchanged.  Trunk
+        impairment gets distinct ``trunk:``-prefixed labels (fresh
+        substreams) and is gated on the packet's src/dst both being
+        relays, because on the star topology inter-relay traffic shares
+        physical interfaces with access traffic.
+        """
         topology = self.network.topology
         hub = self.network.hub_name
         seed = self.scenario.seed
-        for relay in self.network.relay_names:
-            for src, dst in ((relay, hub), (hub, relay)):
-                label = "%s->%s" % (src, dst)
-                for model in part._models_for(seed, label):
-                    interface = topology._interface_between(src, dst)
-                    install_fault_model(interface, model)
-                    self.link_models.append(model)
+
+        def attach(
+            src: str, dst: str, label: str,
+            wrap: Optional[Callable[[FaultModel], FaultModel]] = None,
+        ) -> None:
+            for model in part._models_for(seed, label):
+                interface = topology._interface_between(src, dst)
+                install_fault_model(
+                    interface, model if wrap is None else wrap(model)
+                )
+                # Counters aggregate the inner model either way: for
+                # trunk faults it sees exactly the inter-relay packets.
+                self.link_models.append(model)
+
+        if part.links in ("access", "all"):
+            for relay in self.network.relay_names:
+                for src, dst in ((relay, hub), (hub, relay)):
+                    attach(src, dst, "%s->%s" % (src, dst))
+        if part.links == "all":
+            endpoints = list(self.network.client_names)
+            endpoints.extend(self.network.server_names)
+            for name in endpoints:
+                for src, dst in ((name, hub), (hub, name)):
+                    attach(src, dst, "%s->%s" % (src, dst))
+        if part.links == "trunk":
+            relays = frozenset(self.network.relay_names)
+
+            def is_trunk(packet: Any) -> bool:
+                return packet.src in relays and packet.dst in relays
+
+            for relay in self.network.relay_names:
+                for src, dst in ((relay, hub), (hub, relay)):
+                    attach(
+                        src, dst, "trunk:%s->%s" % (src, dst),
+                        wrap=lambda model: FilteredFaultModel(
+                            is_trunk, model
+                        ),
+                    )

@@ -124,8 +124,11 @@ def partition_plan(
     return components
 
 
+_NO_EXCLUDED: frozenset = frozenset()
+
+
 def _circuit_leaves(
-    planned: PlannedCircuit, excluded: frozenset = frozenset()
+    planned: PlannedCircuit, excluded: frozenset = _NO_EXCLUDED
 ) -> List[str]:
     """The circuit's leaves minus *excluded* (endpoints always kept)."""
     return [

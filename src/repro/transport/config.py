@@ -63,7 +63,7 @@ def _lookup_profile(name: str) -> Dict[str, Any]:
         raise ValueError(
             "unknown transport profile %r (known: %s)"
             % (name, ", ".join(transport_profile_names()))
-        )
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -212,3 +212,56 @@ def test_result_round_trips_through_serialize():
     assert back.stats.states == result.stats.states
     assert back.config == result.config
     assert len(back.samples) == len(result.samples)
+
+
+# ----------------------------------------------------------------------
+# Symmetry reduction over identical interior hops
+# ----------------------------------------------------------------------
+
+
+def test_symmetric_key_is_identity_below_three_hops():
+    from repro.check import ModelState
+
+    cfg = CheckConfig(hops=2, cells=2)
+    state = ModelState.initial(cfg)
+    assert state.canonical_symmetric() == state.canonical()
+
+
+def test_symmetry_reduces_states_on_wide_instances():
+    cfg = CheckConfig(hops=4, cells=2)
+    plain = explore(cfg)
+    reduced = explore(cfg, symmetry=True)
+    assert not plain.stats.symmetry and reduced.stats.symmetry
+    # The point of the quotient: strictly fewer represented states.
+    assert reduced.stats.states < plain.stats.states
+    assert plain.ok and reduced.ok
+    assert plain.exhaustive and reduced.exhaustive
+
+
+def test_symmetry_matches_unreduced_on_two_hop_instances():
+    # No interior hop pair below three hops: the quotient must
+    # degenerate to the identity, byte for byte — same states, same
+    # transitions, same terminals.
+    cfg = CheckConfig(hops=2, cells=2, allow_close=True)
+    plain = explore(cfg)
+    reduced = explore(cfg, symmetry=True)
+    assert reduced.stats.states == plain.stats.states
+    assert reduced.stats.transitions == plain.stats.transitions
+    assert reduced.stats.terminals == plain.stats.terminals
+    assert plain.ok and reduced.ok
+
+
+def test_symmetry_keeps_detection_power_on_two_hop_teeth():
+    # The 2-hop teeth instances: every planted bug caught without the
+    # reduction is caught with it, with the same invariant names.
+    duplicate_cfg = CheckConfig(hops=2, cells=2, reliable=True,
+                                max_retransmission_rounds=1)
+    leak_cfg = CheckConfig(hops=2, cells=2, allow_close=True)
+    for cfg, bug in ((duplicate_cfg, "accept-duplicates"),
+                     (leak_cfg, "leak-outstanding-on-close")):
+        plain = explore(cfg, _injected_bug=bug, max_violations=5)
+        reduced = explore(cfg, symmetry=True, _injected_bug=bug,
+                          max_violations=5)
+        assert not plain.ok and not reduced.ok
+        assert ({v.invariant for v in plain.violations}
+                == {v.invariant for v in reduced.violations})

@@ -19,6 +19,7 @@ from repro.net.faults import (
     BernoulliLossModel,
     BoundedReorderModel,
     CompositeFaultModel,
+    FilteredFaultModel,
     GilbertElliottModel,
     ScriptedLossModel,
     install_fault_model,
@@ -505,3 +506,108 @@ def test_failure_rate_probe_validation():
         faulted_scenario(probes=(FailureRateProbe(workload="interactive"),))
     # Restricting to a workload the scenario carries is fine.
     faulted_scenario(probes=(FailureRateProbe(workload="bulk"),))
+
+
+# ----------------------------------------------------------------------
+# Trunk links (the LinkFaults.links selector)
+# ----------------------------------------------------------------------
+
+
+class _NamedPacket:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+def test_filtered_model_gates_on_predicate():
+    inner = ScriptedLossModel([0])
+    model = FilteredFaultModel(lambda p: p.src == "a", inner)
+    # Non-matching traffic passes and never advances the inner model.
+    assert model.on_transmit(_NamedPacket("b", "a")) == 0.0
+    assert inner.packets_seen == 0
+    assert model.on_transmit(_NamedPacket("a", "b")) < 0
+    assert inner.packets_dropped == 1
+    assert model.packets_dropped == 1
+    assert model.packets_seen == 2
+
+
+def test_filtered_model_forwards_delay_verdicts():
+    inner = BoundedReorderModel(random.Random(5), 0.999, 0.01)
+    model = FilteredFaultModel(lambda p: True, inner)
+    verdicts = [model.on_transmit(_NamedPacket("a", "b"))
+                for __ in range(20)]
+    assert any(v > 0 for v in verdicts)
+    assert model.packets_delayed == inner.packets_delayed > 0
+
+
+def test_link_faults_rejects_unknown_links_selector():
+    with pytest.raises(ValueError, match="links"):
+        LinkFaults(loss_rate=0.01, links="core").validate(faulted_scenario())
+
+
+def _installed_injector(part):
+    scenario = faulted_scenario(faults=(part,))
+    plan = plan_scenario(scenario)
+    sim = Simulator()
+    network = instantiate_network(plan.network, sim)
+    injector = FaultInjector(sim, scenario, plan, network)
+    injector.install_link_faults(part)
+    return injector, network
+
+
+def test_trunk_selector_installs_filtered_models_on_relay_links():
+    part = LinkFaults(loss_rate=0.02, links="trunk")
+    injector, network = _installed_injector(part)
+    # One loss model per relay-link direction, counters on the inner.
+    assert len(injector.link_models) == 2 * len(network.relay_names)
+    assert all(isinstance(m, BernoulliLossModel)
+               for m in injector.link_models)
+    iface = network.topology._interface_between(
+        network.relay_names[0], network.hub_name
+    )
+    model = iface.fault_model
+    assert isinstance(model, FilteredFaultModel)
+    # Access traffic is invisible to the inner model; inter-relay
+    # traffic reaches it.
+    model.on_transmit(_NamedPacket("client00", network.relay_names[0]))
+    assert model.inner.packets_seen == 0
+    model.on_transmit(
+        _NamedPacket(network.relay_names[0], network.relay_names[1])
+    )
+    assert model.inner.packets_seen == 1
+
+
+def test_access_selector_keeps_historical_install_shape():
+    part = LinkFaults(loss_rate=0.02)  # default links="access"
+    injector, network = _installed_injector(part)
+    assert len(injector.link_models) == 2 * len(network.relay_names)
+    iface = network.topology._interface_between(
+        network.relay_names[0], network.hub_name
+    )
+    # Unfiltered: the historical behavior, so the per-interface RNG
+    # substreams (and every draw) are what they always were.
+    assert isinstance(iface.fault_model, BernoulliLossModel)
+
+
+def test_all_selector_adds_endpoint_links():
+    part = LinkFaults(loss_rate=0.02, links="all")
+    injector, network = _installed_injector(part)
+    expected = 2 * (len(network.relay_names) + len(network.client_names)
+                    + len(network.server_names))
+    assert len(injector.link_models) == expected
+    iface = network.topology._interface_between(
+        network.client_names[0], network.hub_name
+    )
+    assert isinstance(iface.fault_model, BernoulliLossModel)
+
+
+def test_trunk_loss_run_recovers_every_circuit():
+    scenario = faulted_scenario(
+        faults=(LinkFaults(loss_rate=0.05, links="trunk"),)
+    )
+    result = run_planned(plan_scenario(scenario))
+    for kind in result.scenario.kinds:
+        assert result.failures[kind] == []
+        counters = result.transport_counters[kind]
+        assert counters["retransmissions"] > 0
+        assert counters["broken"] == 0

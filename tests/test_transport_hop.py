@@ -185,3 +185,85 @@ def test_window_never_violated(sim):
         sim.run_until(sim.now + 0.01)
         sender.on_feedback(seq)
     assert violations == []
+
+
+# ----------------------------------------------------------------------
+# Go-back-N retransmission storms (feedback never arrives)
+# ----------------------------------------------------------------------
+
+
+def _storm_config(**overrides):
+    """Reliable profile with a flat, fast RTO so storms are cheap."""
+    defaults = dict(reliable=True, rto_initial=0.1, rto_min=0.05,
+                    rto_max=0.1)
+    defaults.update(overrides)
+    return TransportConfig(**defaults)
+
+
+def test_storm_counters_monotonic(sim):
+    """Every counter is non-decreasing across a sustained RTO storm."""
+    sender, __, wire = make_sender(
+        sim, _storm_config(max_retransmission_rounds=50)
+    )
+    for __i in range(4):
+        sender.enqueue(StubCell())
+    previous = sender.counters()
+    for step in range(1, 20):
+        sim.run_until(step * 0.1)
+        snapshot = sender.counters()
+        for name, value in snapshot.items():
+            assert value >= previous[name], (
+                "counter %s went backwards (%r -> %r) at t=%.1f"
+                % (name, previous[name], value, sim.now)
+            )
+        previous = snapshot
+    assert previous["timeouts"] > 0
+    assert previous["retransmissions"] > 0
+    # Go-back-N: each timeout round resends every unacked cell.
+    assert previous["retransmissions"] == \
+        previous["timeouts"] * sender.inflight_cells
+    assert len(wire) == sender.cells_sent + previous["retransmissions"]
+
+
+def test_storm_exhausts_budget_into_broken_terminal_state(sim):
+    """Exhausting the budget breaks the hop exactly once, via the hook."""
+    sender, controller, __w = make_sender(
+        sim, _storm_config(max_retransmission_rounds=2)
+    )
+    errors = []
+    sender.on_broken = errors.append
+    sender.enqueue(StubCell())
+    sim.run_until(10.0)
+    assert len(errors) == 1
+    assert sender.broken
+    assert sender.counters()["broken"] == 1
+    # Two full retransmission rounds, then the breaking third timeout.
+    assert sender.counters()["timeouts"] == 3
+    assert sender.counters()["retransmissions"] == 2
+    # The break closed the hop: nothing in flight, accounting released,
+    # and the terminal state is stable under further simulated time.
+    assert sender.idle
+    assert controller.outstanding == 0
+    terminal = sender.counters()
+    sim.run_until(60.0)
+    assert sender.counters() == terminal
+
+
+def test_storm_counters_survive_close(sim):
+    """Teardown mid-storm keeps the tallies; only live state is dropped."""
+    sender, controller, __w = make_sender(sim, _storm_config())
+    for __i in range(4):
+        sender.enqueue(StubCell())
+    sim.run_until(0.35)  # a few timeout rounds into the storm
+    before = sender.counters()
+    assert before["timeouts"] > 0
+    sender.close()
+    after = sender.counters()
+    assert after == before  # close() releases state, never counters
+    assert not sender.broken
+    assert sender.idle
+    assert controller.outstanding == 0
+    # The cancelled timer must leave nothing behind: no counter can
+    # move once the circuit is gone.
+    sim.run_until(30.0)
+    assert sender.counters() == after
